@@ -1,0 +1,18 @@
+"""Pytest configuration for the benchmark harness.
+
+Makes the shared ``bench_common`` module importable and registers the
+``paper`` marker used to tag which table/figure each benchmark regenerates.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper(ref): the paper table/figure this benchmark reproduces"
+    )

@@ -1,0 +1,52 @@
+"""Figure 2: per-SD-pair demand variance (the diversity FIGRET exploits).
+
+The paper's heat maps show that, in every network, different SD pairs have
+very different demand variance.  This benchmark regenerates the underlying
+matrices and reports how concentrated the variance is (a perfectly uniform
+network would have the top-10% pairs carry exactly 10% of total variance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import bench_common as common
+from repro.evaluation.reporting import format_table
+from repro.traffic.stats import normalized_variance_matrix
+
+
+@pytest.mark.paper("Figure 2")
+def test_fig02_variance_by_source_destination(benchmark):
+    scenario_names = ["geant_small", "meta_pod_db_small", "meta_tor_db_small"]
+
+    def run():
+        outcome = {}
+        for name in scenario_names:
+            scenario = common.get_scenario(name)
+            variance = normalized_variance_matrix(scenario.traffic)
+            flat = variance[~np.eye(variance.shape[0], dtype=bool)]
+            flat_sorted = np.sort(flat)[::-1]
+            top10 = max(1, int(round(0.1 * flat.size)))
+            outcome[name] = {
+                "pairs": flat.size,
+                "top10_share": float(flat_sorted[:top10].sum() / max(flat.sum(), 1e-12)),
+                "zero_fraction": float((flat < 1e-6).mean()),
+            }
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, info["pairs"], f"{info['top10_share'] * 100:.1f}%", f"{info['zero_fraction'] * 100:.1f}%"]
+        for name, info in outcome.items()
+    ]
+    print()
+    print(format_table(
+        ["scenario", "#pairs", "variance share of top-10% pairs", "near-zero-variance pairs"],
+        rows,
+        title="Figure 2: heterogeneity of per-pair demand variance",
+    ))
+    for name, info in outcome.items():
+        benchmark.extra_info[name] = info
+        # The paper's point: variance is far from uniform across pairs.
+        assert info["top10_share"] > 0.2

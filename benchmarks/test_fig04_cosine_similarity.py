@@ -1,0 +1,53 @@
+"""Figure 4: cosine-similarity burstiness profile of every evaluation traffic trace.
+
+For each scenario, every traffic matrix is compared with the most similar of
+the previous H = 12 matrices; the distribution of those similarities is the
+paper's burstiness indicator.  Expected ordering: WAN gravity traffic is the
+most stable, GEANT is stable with outliers, PoD-level is moderately bursty,
+and pFabric / ToR-level traffic is the most dynamic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import bench_common as common
+from repro.evaluation.reporting import format_table
+from repro.traffic.stats import burstiness_summary
+
+SCENARIOS = [
+    "geant_small",
+    "uscarrier_small",
+    "cogentco_small",
+    "meta_pod_db_small",
+    "meta_pod_web_small",
+    "pfabric_small",
+    "meta_tor_db_small",
+    "meta_tor_web_small",
+]
+
+
+@pytest.mark.paper("Figure 4")
+def test_fig04_cosine_similarity_profiles(benchmark):
+    def run():
+        return {
+            name: burstiness_summary(common.get_scenario(name).traffic, history=12)
+            for name in SCENARIOS
+        }
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, f"{p['p05']:.3f}", f"{p['p25']:.3f}", f"{p['p50']:.3f}", f"{p['p75']:.3f}", f"{p['p95']:.3f}"]
+        for name, p in profiles.items()
+    ]
+    print()
+    print(format_table(["scenario", "p05", "p25", "p50", "p75", "p95"], rows,
+                       title="Figure 4: cosine similarity to the closest of the last 12 TMs"))
+    benchmark.extra_info["profiles"] = profiles
+
+    # Shape assertions: gravity WAN most stable; ToR-level most dynamic;
+    # PoD-level in between; GEANT stable at the median.
+    assert profiles["uscarrier_small"]["p50"] > profiles["meta_pod_db_small"]["p50"] - 0.02
+    assert profiles["meta_pod_db_small"]["p50"] > profiles["meta_tor_db_small"]["p50"]
+    assert profiles["geant_small"]["p50"] > 0.9
+    assert profiles["meta_tor_web_small"]["p50"] < 0.95

@@ -1,0 +1,61 @@
+"""Figures 14 and 15 (Appendix E): link failures on pFabric and ToR-level Meta DB.
+
+Same protocol as Figure 7 but on the data center scenarios.  On the highly
+dynamic ToR-level traffic even the fault-aware hedging baseline struggles,
+while FIGRET remains competitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import bench_common as common
+from repro.evaluation import failure_experiment
+from repro.evaluation.reporting import format_table
+from repro.solvers import DesensitizationTE, FaultAwareDesensitizationTE
+
+
+@pytest.mark.paper("Figures 14 and 15")
+@pytest.mark.parametrize(
+    "scenario_name,robustness,epochs",
+    [("pfabric_small", 0.15, 35), ("meta_tor_db_small", 0.3, 35)],
+)
+def test_fig14_15_failures_data_centers(benchmark, scenario_name, robustness, epochs):
+    scenario = common.get_scenario(scenario_name)
+    figret = common.trained_scheme("figret", scenario_name, robustness, epochs)
+    dote = common.trained_scheme("dote", scenario_name, 0.0, epochs)
+    des = DesensitizationTE(scenario.paths)
+    fa_des = FaultAwareDesensitizationTE(scenario.paths)
+    test = common.test_slice(scenario, 5)
+
+    def run():
+        outcome = {}
+        for num_failures in (1, 2, 3):
+            results = failure_experiment(
+                [figret, dote, des, fa_des],
+                test,
+                scenario.history_len,
+                num_failures=num_failures,
+                num_trials=2,
+                seed=200 + num_failures,
+            )
+            outcome[num_failures] = {name: float(np.mean(series)) for name, series in results.items()}
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [str(k), f"{v['FIGRET']:.3f}", f"{v['DOTE']:.3f}", f"{v['Des TE']:.3f}", f"{v['FA Des TE']:.3f}"]
+        for k, v in outcome.items()
+    ]
+    print()
+    print(format_table(
+        ["#failures", "FIGRET", "DOTE", "Des TE", "FA Des TE"],
+        rows,
+        title=f"Figures 14/15 ({scenario_name}): mean normalised MLU under link failures",
+    ))
+    benchmark.extra_info["results"] = outcome
+
+    for stats in outcome.values():
+        assert all(np.isfinite(list(stats.values())))
+        assert stats["FIGRET"] >= 1.0 - 1e-6

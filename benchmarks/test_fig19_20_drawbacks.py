@@ -1,0 +1,155 @@
+"""Figures 19 and 20 (Appendix G): drawbacks of prediction-based and pure-MLU TE.
+
+* Figure 19 -- objective mismatch: two demand predictions with identical
+  mean-squared error lead to different MLUs, because mispredicting traffic
+  that rides high-capacity paths matters less.
+* Figure 20 -- DOTE's limitation: when a pair looks stable throughout the
+  history window and then suddenly bursts, a pure-MLU scheme has placed that
+  pair on a high-sensitivity (concentrated) path allocation and suffers a
+  large MLU spike; FIGRET's variance-weighted hedging dampens the spike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import bench_common as common
+from repro.core import Dote, Figret, TrainingConfig
+from repro.evaluation.reporting import format_table
+from repro.paths.ksp import build_ksp_path_set
+from repro.solvers.lp import solve_mlu_lp
+from repro.te.mlu import max_link_utilization
+from repro.te.sensitivity import max_sensitivity_per_pair
+from repro.topology.generators import mismatch_example
+from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSequence
+
+
+@pytest.mark.paper("Figure 19")
+def test_fig19_prediction_mlu_objective_mismatch(benchmark):
+    topology = mismatch_example()
+    paths = build_ksp_path_set(topology, k=2)
+
+    def demand_vector(d1: float, d2: float) -> np.ndarray:
+        demand = np.zeros((4, 4))
+        demand[0, 2] = d1   # s -> t1 rides capacity-50 paths
+        demand[0, 3] = d2   # s -> t2 rides capacity-100 paths
+        return paths.demand_vector(demand)
+
+    upcoming = demand_vector(60.0, 60.0)
+    prediction_a = demand_vector(50.0, 60.0)   # errs on the low-capacity pair
+    prediction_b = demand_vector(60.0, 50.0)   # errs on the high-capacity pair
+
+    def run():
+        config_a, _ = solve_mlu_lp(paths, prediction_a)
+        config_b, _ = solve_mlu_lp(paths, prediction_b)
+        return (
+            max_link_utilization(paths, config_a, upcoming),
+            max_link_utilization(paths, config_b, upcoming),
+        )
+
+    mlu_a, mlu_b = benchmark.pedantic(run, rounds=1, iterations=1)
+    mse_a = float(((prediction_a - upcoming) ** 2).mean())
+    mse_b = float(((prediction_b - upcoming) ** 2).mean())
+    rows = [
+        ["errs on s->t1 (thin paths)", f"{mse_a:.1f}", f"{mlu_a:.3f}"],
+        ["errs on s->t2 (fat paths)", f"{mse_b:.1f}", f"{mlu_b:.3f}"],
+    ]
+    print()
+    print(format_table(["prediction", "MSE", "resulting MLU"], rows,
+                       title="Figure 19: equal prediction error, different MLU"))
+    benchmark.extra_info["mlu_a"] = float(mlu_a)
+    benchmark.extra_info["mlu_b"] = float(mlu_b)
+
+    # Identical prediction accuracy...
+    assert mse_a == pytest.approx(mse_b)
+    # ...but the error on the thin-capacity pair hurts MLU more.
+    assert mlu_a > mlu_b
+
+
+def _stable_then_burst_scenario(seed: int = 3):
+    """A 5-node mesh where one pair is quiet during training and bursts in the test."""
+    from repro.topology.generators import fully_connected
+
+    topology = fully_connected(5, capacity=10.0)
+    paths = build_ksp_path_set(topology, k=3)
+    rng = np.random.default_rng(seed)
+    n = topology.num_nodes
+    off_diag = ~np.eye(n, dtype=bool)
+    num_pairs = n * (n - 1)
+    base = rng.lognormal(0.0, 0.4, size=num_pairs) + 1.0
+    quiet_pair = 0          # pair (0, 1): almost silent during training
+    base[quiet_pair] = 0.05
+    matrices = []
+    total = 140
+    for t in range(total):
+        flat = base * rng.lognormal(0.0, 0.1, size=num_pairs)
+        if t >= 110 and t % 7 == 0:
+            flat[quiet_pair] = 25.0      # sudden, unforeseeable burst in the test period
+        matrix = np.zeros((n, n))
+        matrix[off_diag] = flat
+        matrices.append(TrafficMatrix(matrix))
+    traffic = TrafficMatrixSequence(matrices, name="stable-then-burst")
+    return topology, paths, traffic, quiet_pair
+
+
+@pytest.mark.paper("Figure 20")
+def test_fig20_dote_limitation_on_surprise_burst(benchmark):
+    topology, paths, traffic, quiet_pair = _stable_then_burst_scenario()
+    config = TrainingConfig(
+        epochs=30, history_len=8, hidden_sizes=(64, 64), robustness_weight=0.6,
+        seed=common.BENCH_SEED,
+    )
+    train, test = traffic.split(0.75)
+
+    def run():
+        dote = Dote(paths, config)
+        figret = Figret(paths, config)
+        dote.precompute(train)
+        figret.precompute(train)
+        flat = test.flat_demands()
+        h = config.history_len
+        from repro.solvers.lp import omniscient_mlu
+
+        burst_times = [t for t in range(h, len(flat)) if flat[t, quiet_pair] > 10.0]
+        dote_sens, figret_sens, dote_norm, figret_norm = [], [], [], []
+        for t in burst_times:
+            history = flat[t - h : t]
+            dote_cfg = dote.configure(history)
+            figret_cfg = figret.configure(history)
+            optimal = omniscient_mlu(paths, flat[t])
+            dote_sens.append(max_sensitivity_per_pair(paths, dote_cfg, normalized=True)[quiet_pair])
+            figret_sens.append(max_sensitivity_per_pair(paths, figret_cfg, normalized=True)[quiet_pair])
+            dote_norm.append(max_link_utilization(paths, dote_cfg, flat[t]) / optimal)
+            figret_norm.append(max_link_utilization(paths, figret_cfg, flat[t]) / optimal)
+        return (
+            float(np.mean(dote_sens)), float(np.mean(figret_sens)),
+            float(np.mean(dote_norm)), float(np.mean(figret_norm)), len(burst_times),
+        )
+
+    dote_sens, figret_sens, dote_norm, figret_norm, bursts = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = [
+        ["DOTE", f"{dote_sens:.3f}", f"{dote_norm:.3f}"],
+        ["FIGRET", f"{figret_sens:.3f}", f"{figret_norm:.3f}"],
+    ]
+    print()
+    print(format_table(
+        ["scheme", "S^max of the quiet pair", "normalised MLU when the pair bursts"],
+        rows,
+        title=f"Figure 20: surprise burst on a historically quiet pair ({bursts} burst intervals)",
+    ))
+    benchmark.extra_info.update({
+        "dote_sensitivity": dote_sens,
+        "figret_sensitivity": figret_sens,
+        "dote_normalized_mlu": dote_norm,
+        "figret_normalized_mlu": figret_norm,
+    })
+
+    assert bursts > 0
+    # The DOTE limitation the figure illustrates: the historically quiet pair
+    # sits on a concentrated, high-sensitivity allocation, so when it
+    # unexpectedly bursts the achieved MLU is well above the optimum.
+    assert dote_sens > 0.4
+    assert dote_norm > 1.15

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction lacks the ``wheel``
+package, so ``pip install -e .`` (which needs to build an editable wheel)
+cannot run.  ``python setup.py develop`` performs the equivalent editable
+install without building a wheel.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

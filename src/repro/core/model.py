@@ -1,0 +1,78 @@
+"""The FIGRET / DOTE network architecture (Appendix D.4).
+
+A plain fully connected network maps the flattened history window of demand
+vectors to one raw score per candidate path.  Hidden layers use ReLU; the
+output layer uses Sigmoid.  Raw scores are turned into valid split ratios by
+per-SD-pair normalisation (see :class:`repro.core.loss.TELoss`), which is how
+the paper guarantees feasibility of the DNN output (Section 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Module, ReLU, Sequential, Sigmoid, Tensor
+from repro.paths.path_set import PathSet
+
+__all__ = ["FigretNet"]
+
+
+class FigretNet(Module):
+    """Fully connected network mapping demand history to raw path scores.
+
+    Args:
+        path_set: Candidate paths (defines the output dimensionality).
+        history_len: Number of demand matrices in the input window (H).
+        hidden_sizes: Hidden layer widths (five layers of 128 by default).
+        seed: Weight initialisation seed.
+    """
+
+    def __init__(
+        self,
+        path_set: PathSet,
+        history_len: int = 12,
+        hidden_sizes: tuple[int, ...] = (128, 128, 128, 128, 128),
+        seed: int = 0,
+    ) -> None:
+        self.path_set = path_set
+        self.history_len = history_len
+        self.input_dim = history_len * path_set.num_sd_pairs
+        self.output_dim = path_set.num_paths
+        rng = np.random.default_rng(seed)
+        layers: list[Module] = []
+        previous = self.input_dim
+        for width in hidden_sizes:
+            layers.append(Linear(previous, width, rng=rng))
+            layers.append(ReLU())
+            previous = width
+        layers.append(Linear(previous, self.output_dim, rng=rng))
+        layers.append(Sigmoid())
+        self.network = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Raw (0, 1) path scores for a batch of flattened history windows."""
+        return self.network(x)
+
+    def split_ratios(self, history_window: np.ndarray, input_scale: float = 1.0) -> np.ndarray:
+        """Convenience inference helper returning normalised split ratios.
+
+        Args:
+            history_window: Array of shape ``(H, num_sd_pairs)`` (a single
+                window) or ``(H * num_sd_pairs,)``.
+            input_scale: Divisor applied to the inputs (the trainer scales
+                inputs by the mean training demand).
+
+        Returns:
+            Split ratios of shape ``(num_paths,)`` with each SD pair's ratios
+            summing to one.
+        """
+        window = np.asarray(history_window, dtype=float).reshape(1, -1)
+        if window.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected a window with {self.input_dim} entries, got {window.shape[1]}"
+            )
+        raw = self.forward(Tensor(window / input_scale)).numpy()[0]
+        sums = np.zeros(self.path_set.num_sd_pairs)
+        np.add.at(sums, self.path_set.path_sd_index, raw)
+        sums = np.maximum(sums, 1e-12)
+        return raw / sums[self.path_set.path_sd_index]

@@ -1,0 +1,160 @@
+"""Training loop for the deep-learning TE schemes.
+
+The trainer turns a training :class:`TrafficMatrixSequence` into supervised
+windows (``H`` past demand vectors -> the next demand vector), then performs
+mini-batch Adam updates of a :class:`FigretNet` under a :class:`TELoss`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TrainingConfig
+from repro.core.loss import TELoss
+from repro.core.model import FigretNet
+from repro.nn import Adam, Tensor, clip_gradient_norm
+from repro.paths.path_set import PathSet
+from repro.solvers.lp import omniscient_mlu
+from repro.traffic.matrix import TrafficMatrixSequence
+
+__all__ = ["Trainer", "TrainingHistory", "build_windows"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training statistics.
+
+    Attributes:
+        epoch_losses: Mean total loss per epoch.
+        epoch_mlu_losses: Mean MLU component per epoch.
+        epoch_sensitivity_losses: Mean sensitivity component per epoch.
+    """
+
+    epoch_losses: list[float] = field(default_factory=list)
+    epoch_mlu_losses: list[float] = field(default_factory=list)
+    epoch_sensitivity_losses: list[float] = field(default_factory=list)
+
+    def record(self, total: float, mlu: float, sensitivity: float) -> None:
+        """Append one epoch's averages."""
+        self.epoch_losses.append(total)
+        self.epoch_mlu_losses.append(mlu)
+        self.epoch_sensitivity_losses.append(sensitivity)
+
+
+def build_windows(
+    sequence: TrafficMatrixSequence, history_len: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build (inputs, targets) training arrays from a traffic sequence.
+
+    Returns:
+        ``inputs`` of shape ``(N, H * num_sd_pairs)`` (flattened windows,
+        oldest demand first) and ``targets`` of shape ``(N, num_sd_pairs)``.
+    """
+    windows = []
+    targets = []
+    for window, target in sequence.windows(history_len):
+        windows.append(window.reshape(-1))
+        targets.append(target)
+    if not windows:
+        raise ValueError(
+            f"sequence of length {len(sequence)} is too short for history {history_len}"
+        )
+    return np.stack(windows), np.stack(targets)
+
+
+class Trainer:
+    """Mini-batch Adam trainer for FIGRET / DOTE models.
+
+    Args:
+        path_set: Candidate paths.
+        config: Training hyper-parameters.
+        pair_variance: Per-pair demand variance of the training period (used
+            by the sensitivity loss when ``config.robustness_weight > 0``).
+    """
+
+    def __init__(
+        self,
+        path_set: PathSet,
+        config: TrainingConfig,
+        pair_variance: np.ndarray | None = None,
+    ) -> None:
+        self.path_set = path_set
+        self.config = config
+        self.model = FigretNet(
+            path_set,
+            history_len=config.history_len,
+            hidden_sizes=config.hidden_sizes,
+            seed=config.seed,
+        )
+        self.loss = TELoss(
+            path_set,
+            pair_variance=pair_variance,
+            robustness_weight=config.robustness_weight,
+        )
+        self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        self.history = TrainingHistory()
+        self.input_scale: float = 1.0
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, train_sequence: TrafficMatrixSequence) -> TrainingHistory:
+        """Train the model on a traffic sequence and return the loss history."""
+        config = self.config
+        inputs, targets = build_windows(train_sequence, config.history_len)
+        # Scale inputs so the network sees O(1) values regardless of the
+        # traffic volume units.
+        self.input_scale = float(max(inputs.mean(), 1e-12))
+        scaled_inputs = inputs / self.input_scale
+
+        optimal = None
+        if config.normalize_by_optimal:
+            optimal = np.array(
+                [omniscient_mlu(self.path_set, target) for target in targets]
+            )
+
+        rng = np.random.default_rng(config.seed)
+        num_samples = scaled_inputs.shape[0]
+        base_lr = config.learning_rate
+        global_step = 0
+        for _ in range(config.epochs):
+            order = rng.permutation(num_samples)
+            epoch_total, epoch_mlu, epoch_sens, batches = 0.0, 0.0, 0.0, 0
+            for start in range(0, num_samples, config.batch_size):
+                if config.warmup_steps > 0:
+                    warmup = min(1.0, (global_step + 1) / config.warmup_steps)
+                else:
+                    warmup = 1.0
+                self.optimizer.lr = base_lr * warmup
+                global_step += 1
+                batch_idx = order[start : start + config.batch_size]
+                batch_inputs = Tensor(scaled_inputs[batch_idx])
+                batch_targets = targets[batch_idx]
+                batch_optimal = optimal[batch_idx] if optimal is not None else None
+
+                raw_scores = self.model(batch_inputs)
+                loss, components = self.loss(raw_scores, batch_targets, batch_optimal)
+                self.optimizer.zero_grad()
+                loss.backward()
+                if config.gradient_clip is not None:
+                    clip_gradient_norm(self.model.parameters(), config.gradient_clip)
+                self.optimizer.step()
+
+                epoch_total += components["total"]
+                epoch_mlu += components["mlu"]
+                epoch_sens += components["sensitivity"]
+                batches += 1
+            self.history.record(
+                epoch_total / batches, epoch_mlu / batches, epoch_sens / batches
+            )
+            base_lr *= config.lr_decay
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def split_ratios(self, history_window: np.ndarray) -> np.ndarray:
+        """Normalised split ratios for one history window (``(H, num_sd)``)."""
+        return self.model.split_ratios(history_window, input_scale=self.input_scale)

@@ -1,0 +1,5 @@
+"""Named evaluation scenarios (topology + paths + traffic + split)."""
+
+from repro.datasets.registry import Scenario, available_scenarios, load
+
+__all__ = ["Scenario", "available_scenarios", "load"]

@@ -1,0 +1,197 @@
+"""Registry of the evaluation scenarios used by the paper (Table 1, Section 5.1).
+
+A :class:`Scenario` bundles everything a TE experiment needs: a topology, a
+candidate path set (Yen's 3-shortest-paths by default), a traffic matrix
+sequence with the appropriate burstiness profile, and the chronological
+train/test split.
+
+Full-size scenarios match Table 1's node/edge counts.  Each also has a
+``*_small`` variant with a scaled-down topology and shorter trace so the
+complete benchmark harness runs on a CPU-only machine in minutes; the scaling
+factors are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.paths.ksp import build_ksp_path_set
+from repro.paths.path_set import PathSet
+from repro.topology import generators, zoo
+from repro.topology.graph import Topology
+from repro.traffic.bursty import DataCenterTrafficGenerator
+from repro.traffic.gravity import GravityTrafficGenerator
+from repro.traffic.matrix import TrafficMatrixSequence
+from repro.traffic.pfabric import PFabricTrafficGenerator
+from repro.traffic.wan import GeantLikeGenerator
+
+__all__ = ["Scenario", "available_scenarios", "load"]
+
+
+@dataclass
+class Scenario:
+    """A complete evaluation scenario.
+
+    Attributes:
+        name: Scenario identifier.
+        topology: Network topology.
+        paths: Candidate path set (3 shortest paths per pair).
+        traffic: Demand matrix sequence.
+        train_fraction: Fraction of the trace used for training.
+        history_len: Recommended history window H for this scenario.
+        description: One-line description.
+    """
+
+    name: str
+    topology: Topology
+    paths: PathSet
+    traffic: TrafficMatrixSequence
+    train_fraction: float = 0.75
+    history_len: int = 12
+    description: str = ""
+
+    def split(self) -> tuple[TrafficMatrixSequence, TrafficMatrixSequence]:
+        """Chronological train/test split."""
+        return self.traffic.split(self.train_fraction)
+
+
+def _scenario(
+    name: str,
+    topology: Topology,
+    traffic: TrafficMatrixSequence,
+    history_len: int = 12,
+    k_paths: int = 3,
+    description: str = "",
+) -> Scenario:
+    paths = build_ksp_path_set(topology, k=k_paths)
+    return Scenario(
+        name=name,
+        topology=topology,
+        paths=paths,
+        traffic=traffic,
+        history_len=history_len,
+        description=description,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Builders (one per scenario name)
+# --------------------------------------------------------------------------- #
+def _build_geant(seed: int, num_intervals: int | None, small: bool) -> Scenario:
+    topology = zoo.geant()
+    intervals = num_intervals or (200 if small else 1000)
+    traffic = GeantLikeGenerator(topology, seed=seed).generate(intervals)
+    return _scenario(
+        "geant_small" if small else "geant",
+        topology,
+        traffic,
+        description="GEANT-like WAN, 23 nodes, mostly-stable 15-minute traffic with sparse bursts",
+    )
+
+
+def _build_wan_gravity(name: str, topology: Topology, seed: int, num_intervals: int | None, small: bool) -> Scenario:
+    intervals = num_intervals or (150 if small else 600)
+    traffic = GravityTrafficGenerator(topology, seed=seed).generate(intervals)
+    return _scenario(
+        name,
+        topology,
+        traffic,
+        description=f"{topology.name} WAN with stable gravity-model traffic",
+    )
+
+
+def _build_pfabric(seed: int, num_intervals: int | None, small: bool) -> Scenario:
+    topology = generators.leaf_spine_direct_connect(9, capacity=10.0)
+    intervals = num_intervals or (200 if small else 800)
+    traffic = PFabricTrafficGenerator(topology, seed=seed).generate(intervals)
+    return _scenario(
+        "pfabric_small" if small else "pfabric",
+        topology,
+        traffic,
+        description="pFabric 9-ToR full mesh with Poisson web-search flow arrivals",
+    )
+
+
+def _build_meta_pod(cluster: str, seed: int, num_intervals: int | None, small: bool) -> Scenario:
+    num_pods = 4 if cluster == "db" else 8
+    topology = generators.fully_connected(num_pods, capacity=40.0, name=f"meta-pod-{cluster}")
+    intervals = num_intervals or (300 if small else 1200)
+    traffic = DataCenterTrafficGenerator(topology, level="pod", seed=seed).generate(intervals)
+    name = f"meta_pod_{cluster}" + ("_small" if small else "")
+    return _scenario(
+        name,
+        topology,
+        traffic,
+        description=f"Meta-like {cluster.upper()} cluster, PoD level ({num_pods} pods, full mesh), moderately bursty",
+    )
+
+
+def _build_meta_tor(cluster: str, seed: int, num_intervals: int | None, small: bool) -> Scenario:
+    if small:
+        num_tors, degree = (24, 6) if cluster == "db" else (32, 8)
+    else:
+        # Table 1: ToR DB 155 nodes / 7194 directed edges (degree ~46),
+        #          ToR WEB 324 nodes / 31520 directed edges (degree ~97).
+        num_tors, degree = (155, 46) if cluster == "db" else (324, 97)
+    topology = generators.random_regular(
+        num_tors, degree, capacity=10.0, seed=seed, name=f"meta-tor-{cluster}"
+    )
+    intervals = num_intervals or (250 if small else 800)
+    traffic = DataCenterTrafficGenerator(topology, level="tor", seed=seed).generate(intervals)
+    name = f"meta_tor_{cluster}" + ("_small" if small else "")
+    return _scenario(
+        name,
+        topology,
+        traffic,
+        history_len=12,
+        description=f"Meta-like {cluster.upper()} cluster, ToR level (random regular graph), highly dynamic traffic",
+    )
+
+
+_BUILDERS: dict[str, Callable[[int, int | None], Scenario]] = {
+    "geant": lambda seed, n: _build_geant(seed, n, small=False),
+    "geant_small": lambda seed, n: _build_geant(seed, n, small=True),
+    "uscarrier": lambda seed, n: _build_wan_gravity("uscarrier", zoo.uscarrier(), seed, n, small=False),
+    "uscarrier_small": lambda seed, n: _build_wan_gravity(
+        "uscarrier_small", generators.wan_like(40, 52, seed=7, name="UsCarrier-small"), seed, n, small=True
+    ),
+    "cogentco": lambda seed, n: _build_wan_gravity("cogentco", zoo.cogentco(), seed, n, small=False),
+    "cogentco_small": lambda seed, n: _build_wan_gravity(
+        "cogentco_small", generators.wan_like(50, 62, seed=11, name="Cogentco-small"), seed, n, small=True
+    ),
+    "pfabric": lambda seed, n: _build_pfabric(seed, n, small=False),
+    "pfabric_small": lambda seed, n: _build_pfabric(seed, n, small=True),
+    "meta_pod_db": lambda seed, n: _build_meta_pod("db", seed, n, small=False),
+    "meta_pod_db_small": lambda seed, n: _build_meta_pod("db", seed, n, small=True),
+    "meta_pod_web": lambda seed, n: _build_meta_pod("web", seed, n, small=False),
+    "meta_pod_web_small": lambda seed, n: _build_meta_pod("web", seed, n, small=True),
+    "meta_tor_db": lambda seed, n: _build_meta_tor("db", seed, n, small=False),
+    "meta_tor_db_small": lambda seed, n: _build_meta_tor("db", seed, n, small=True),
+    "meta_tor_web": lambda seed, n: _build_meta_tor("web", seed, n, small=False),
+    "meta_tor_web_small": lambda seed, n: _build_meta_tor("web", seed, n, small=True),
+}
+
+
+def available_scenarios() -> list[str]:
+    """Names of all registered scenarios."""
+    return sorted(_BUILDERS)
+
+
+def load(name: str, seed: int = 0, num_intervals: int | None = None) -> Scenario:
+    """Build a named scenario.
+
+    Args:
+        name: One of :func:`available_scenarios`.
+        seed: Seed controlling the synthetic traffic (and, for ToR scenarios,
+            the random regular topology).
+        num_intervals: Optional override for the trace length.
+
+    Raises:
+        KeyError: If the scenario name is unknown.
+    """
+    if name not in _BUILDERS:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        )
+    return _BUILDERS[name](seed, num_intervals)

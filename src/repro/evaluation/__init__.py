@@ -1,0 +1,30 @@
+"""Evaluation harness: metrics, scheme runner, timing, and report formatting."""
+
+from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics, severe_congestion_fraction
+from repro.evaluation.runner import (
+    EvaluationResult,
+    compute_optimal_mlus,
+    evaluate_scheme,
+    compare_schemes,
+    fluctuation_experiment,
+    drift_experiment,
+    failure_experiment,
+)
+from repro.evaluation.timing import SchemeTiming, measure_scheme_timing
+from repro.evaluation import reporting
+
+__all__ = [
+    "MLUStatistics",
+    "normalized_mlu_statistics",
+    "severe_congestion_fraction",
+    "EvaluationResult",
+    "compute_optimal_mlus",
+    "evaluate_scheme",
+    "compare_schemes",
+    "fluctuation_experiment",
+    "drift_experiment",
+    "failure_experiment",
+    "SchemeTiming",
+    "measure_scheme_timing",
+    "reporting",
+]

@@ -1,0 +1,79 @@
+"""Timing harness for Table 2 (calculation time and precomputation time).
+
+The paper separates two costs:
+
+* *Calculation time*: the per-interval cost of producing a new configuration
+  once fresh demand information is available (a DNN forward pass for
+  FIGRET/DOTE, an LP solve for the optimisation-based schemes).
+* *Precomputation time*: one-time training (FIGRET, DOTE, TEAL) or one-time
+  solving (Oblivious, COPE).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.te.scheme import TEScheme
+from repro.traffic.matrix import TrafficMatrixSequence
+
+__all__ = ["SchemeTiming", "measure_scheme_timing"]
+
+
+@dataclass(frozen=True)
+class SchemeTiming:
+    """Measured runtime of one scheme.
+
+    Attributes:
+        scheme_name: Name of the scheme.
+        precompute_seconds: One-time training / solving time.
+        mean_calculation_seconds: Average per-interval configuration time.
+        p95_calculation_seconds: 95th percentile per-interval time.
+    """
+
+    scheme_name: str
+    precompute_seconds: float
+    mean_calculation_seconds: float
+    p95_calculation_seconds: float
+
+
+def measure_scheme_timing(
+    scheme: TEScheme,
+    train_sequence: TrafficMatrixSequence,
+    test_sequence: TrafficMatrixSequence,
+    history_len: int,
+    max_intervals: int = 20,
+) -> SchemeTiming:
+    """Measure precompute and per-interval calculation time of a scheme.
+
+    Args:
+        scheme: Scheme to measure (``precompute`` has *not* been called yet).
+        train_sequence: Training trace passed to ``precompute``.
+        test_sequence: Test trace whose windows drive ``configure``.
+        history_len: History window length.
+        max_intervals: Number of test intervals to time (keeps LP-based
+            schemes affordable).
+    """
+    start = time.perf_counter()
+    scheme.precompute(train_sequence)
+    precompute_seconds = time.perf_counter() - start
+
+    flat = test_sequence.flat_demands()
+    times: list[float] = []
+    end = min(len(flat), history_len + max_intervals)
+    for t in range(history_len, end):
+        history = flat[t - history_len : t]
+        start = time.perf_counter()
+        scheme.configure(history)
+        times.append(time.perf_counter() - start)
+    if not times:
+        raise ValueError("test sequence too short to time any interval")
+    times_arr = np.array(times)
+    return SchemeTiming(
+        scheme_name=scheme.name,
+        precompute_seconds=precompute_seconds,
+        mean_calculation_seconds=float(times_arr.mean()),
+        p95_calculation_seconds=float(np.percentile(times_arr, 95)),
+    )

@@ -1,0 +1,125 @@
+"""Gradient-descent optimizers.
+
+FIGRET trains with Adam (Appendix D.4); SGD is provided for tests and
+ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["SGD", "Adam", "clip_gradient_norm"]
+
+
+def clip_gradient_norm(parameters: list[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping global norm (useful for monitoring).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for param in parameters:
+        if param.grad is not None:
+            total += float(np.sum(param.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for param in parameters:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm
+
+
+class SGD:
+    """Plain (optionally momentum) stochastic gradient descent.
+
+    Args:
+        parameters: Tensors to update.
+        lr: Learning rate.
+        momentum: Momentum coefficient (0 disables momentum).
+    """
+
+    def __init__(self, parameters: list[Tensor], lr: float = 0.01, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data -= self.lr * update
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Adam:
+    """The Adam optimizer (Kingma & Ba, 2014), as used by FIGRET.
+
+    Args:
+        parameters: Tensors to update.
+        lr: Learning rate.
+        betas: Exponential decay rates for the first and second moments.
+        eps: Numerical stabiliser.
+    """
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()

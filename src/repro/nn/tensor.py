@@ -1,0 +1,396 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+The :class:`Tensor` class implements exactly the operations the TE models
+need: dense linear algebra (matmul, broadcast add/mul/div), the activations
+used by the FIGRET architecture (ReLU, Sigmoid), reductions (sum, mean, max),
+and the per-SD-pair "segment" operations required by the TE loss functions
+(gather, segment-sum, segment-max).
+
+The implementation follows the classic tape-free design: every operation
+builds a small closure that, given the upstream gradient, accumulates
+gradients into its parents' ``grad`` buffers; ``backward()`` walks the graph
+in reverse topological order.  Only float64 arrays are supported, which keeps
+gradient checking simple and accurate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum a gradient over broadcast dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode autodiff support.
+
+    Args:
+        data: Array-like data (converted to float64).
+        requires_grad: Whether gradients should flow into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # ndarray <op> Tensor defers to Tensor.__r<op>__.
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def as_tensor(value) -> "Tensor":
+        """Wrap a value in a (constant) Tensor if it is not one already."""
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    def item(self) -> float:
+        """The Python float value of a single-element tensor."""
+        if self.data.size != 1:
+            raise ValueError("item() requires a tensor with exactly one element")
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """A copy of the underlying data."""
+        return self.data.copy()
+
+    def detach(self) -> "Tensor":
+        """A constant tensor sharing this tensor's values."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def _make(self, data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.data.shape))
+            other._accumulate(_unbroadcast(grad, other.data.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-Tensor.as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor.as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data**2), other.data.shape)
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor.as_tensor(other) / self
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        if self.data.ndim < 2 or other.data.ndim != 2:
+            raise ValueError("matmul supports (..., m) x (m, n) with 2-D right operand")
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                left = self.data.reshape(-1, self.data.shape[-1])
+                upstream = grad.reshape(-1, grad.shape[-1])
+                other._accumulate(left.T @ upstream)
+
+        return self._make(out_data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Non-linearities
+    # ------------------------------------------------------------------ #
+    def relu(self) -> "Tensor":
+        """Rectified linear unit."""
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Logistic sigmoid (numerically stable)."""
+        positive = 1.0 / (1.0 + np.exp(-np.clip(self.data, 0.0, 60.0)))
+        negative_exp = np.exp(np.clip(self.data, -60.0, 0.0))
+        out_data = np.where(self.data >= 0, positive, negative_exp / (1.0 + negative_exp))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Sum over an axis (or everything)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            local = np.asarray(grad)
+            if axis is not None and not keepdims:
+                local = np.expand_dims(local, axis)
+            self._accumulate(np.broadcast_to(local, self.data.shape).copy())
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Mean over an axis (or everything)."""
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Maximum over an axis (or everything).
+
+        The gradient flows only to the (first) position achieving the max in
+        each reduced slice, matching PyTorch's semantics up to tie-breaking.
+        """
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            local_grad = np.asarray(grad)
+            if axis is None:
+                mask = np.zeros_like(self.data)
+                mask[np.unravel_index(np.argmax(self.data), self.data.shape)] = 1.0
+                self._accumulate(mask * local_grad)
+                return
+            expanded = local_grad if keepdims else np.expand_dims(local_grad, axis)
+            argmax = np.argmax(self.data, axis=axis)
+            mask = np.zeros_like(self.data)
+            np.put_along_axis(mask, np.expand_dims(argmax, axis), 1.0, axis=axis)
+            self._accumulate(mask * expanded)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Shape / indexing / segment ops
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape (returns a new tensor)."""
+        out_data = self.data.reshape(*shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def gather_last(self, index: np.ndarray) -> "Tensor":
+        """Index the last axis with an integer array (``x[..., index]``).
+
+        Used to broadcast per-SD-pair quantities onto paths: if ``x`` has
+        shape ``(..., num_sd)`` and ``index`` maps each path to its SD pair,
+        the result has shape ``(..., num_paths)``.
+        """
+        index = np.asarray(index, dtype=np.int64)
+        out_data = self.data[..., index]
+
+        def backward(grad: np.ndarray) -> None:
+            local = np.zeros_like(self.data)
+            flat_local = local.reshape(-1, self.data.shape[-1])
+            flat_grad = grad.reshape(-1, index.shape[0])
+            rows = np.arange(flat_local.shape[0])[:, None]
+            np.add.at(flat_local, (rows, index[None, :]), flat_grad)
+            self._accumulate(flat_local.reshape(self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def segment_sum(self, segment_ids: np.ndarray, num_segments: int) -> "Tensor":
+        """Sum entries of the last axis grouped by segment id.
+
+        If ``x`` has shape ``(..., num_paths)`` and ``segment_ids`` maps each
+        path to its SD pair, the result has shape ``(..., num_segments)`` with
+        the per-pair sums.  This is how the per-pair constraint
+        ``sum_p r_p = 1`` is enforced by normalisation.
+        """
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        out_shape = self.data.shape[:-1] + (num_segments,)
+        flat_in = self.data.reshape(-1, self.data.shape[-1])
+        flat_out = np.zeros((flat_in.shape[0], num_segments))
+        rows = np.arange(flat_in.shape[0])[:, None]
+        np.add.at(flat_out, (rows, segment_ids[None, :]), flat_in)
+        out_data = flat_out.reshape(out_shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad[..., segment_ids])
+
+        return self._make(out_data, (self,), backward)
+
+    def segment_max(self, segment_ids: np.ndarray, num_segments: int) -> "Tensor":
+        """Maximum of entries of the last axis grouped by segment id.
+
+        Used for ``S^max_sd`` -- the largest path sensitivity of each SD pair
+        (Equation 8).  The gradient flows to the first entry of each segment
+        that achieves the maximum.
+        """
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        flat_in = self.data.reshape(-1, self.data.shape[-1])
+        batch, num_items = flat_in.shape
+        flat_out = np.full((batch, num_segments), -np.inf)
+        rows = np.arange(batch)[:, None]
+        np.maximum.at(flat_out, (rows, segment_ids[None, :]), flat_in)
+        out_data = flat_out.reshape(self.data.shape[:-1] + (num_segments,))
+
+        # Pre-compute the index of the first argmax item of every segment so
+        # the backward pass is fully vectorised.
+        max_per_item = flat_out[rows, segment_ids[None, :]]
+        is_max = flat_in >= max_per_item
+        candidate = np.where(is_max, np.arange(num_items)[None, :], num_items)
+        first_argmax = np.full((batch, num_segments), num_items, dtype=np.int64)
+        np.minimum.at(first_argmax, (rows, segment_ids[None, :]), candidate)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_flat = grad.reshape(batch, num_segments)
+            local = np.zeros((batch, num_items + 1))
+            batch_rows = np.arange(batch)[:, None]
+            np.add.at(local, (batch_rows, first_argmax), grad_flat)
+            self._accumulate(local[:, :num_items].reshape(self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate gradients from this tensor into every ancestor.
+
+        Args:
+            grad: Upstream gradient.  Defaults to 1 for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise ValueError("cannot call backward on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without an explicit gradient requires a scalar")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad})"

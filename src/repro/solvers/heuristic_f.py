@@ -1,0 +1,145 @@
+"""Heuristic fine-grained sensitivity constraints (Appendix C).
+
+The paper shows that even without deep learning, replacing the fixed
+sensitivity threshold of Desensitization-based TE with a simple per-pair
+function ``F(s, d)`` of the pair's historical traffic variance already
+improves the normal-case / burst-case balance.  Two function families are
+evaluated:
+
+* **Linear** (Appendix C.1, Figure 9 / Table 7): pairs are sorted by
+  historical variance; the allowed sensitivity decreases linearly from
+  ``max_threshold`` (most stable pair) to ``min_threshold`` (most bursty
+  pair).
+* **Piecewise** (Appendix C.2, Figure 11 / Table 8): pairs whose variance
+  rank falls below a breakpoint get ``max_threshold``; the rest get
+  ``min_threshold``.
+
+Both schemes otherwise behave exactly like
+:class:`~repro.solvers.desensitization.DesensitizationTE` (peak-of-window
+anticipated matrix, MLU LP under the per-path caps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.paths.path_set import PathSet
+from repro.solvers.desensitization import DesensitizationTE
+from repro.traffic.matrix import TrafficMatrixSequence
+
+__all__ = ["LinearSensitivityTE", "PiecewiseSensitivityTE"]
+
+
+class _VarianceRankedTE(DesensitizationTE):
+    """Shared machinery: per-pair thresholds derived from variance ranks."""
+
+    def __init__(
+        self,
+        path_set: PathSet,
+        min_threshold: float,
+        max_threshold: float,
+        window: int = 12,
+        name: str = "Heuristic-F TE",
+    ) -> None:
+        if min_threshold <= 0 or max_threshold <= 0:
+            raise ValueError("thresholds must be positive")
+        if min_threshold > max_threshold:
+            raise ValueError("min_threshold cannot exceed max_threshold")
+        super().__init__(path_set, sensitivity_threshold=max_threshold, window=window)
+        self.name = name
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self._precomputed = False
+
+    def precompute(self, train_sequence: TrafficMatrixSequence) -> None:
+        """Derive per-pair thresholds from the training-period variances."""
+        variance = train_sequence.pair_variance()
+        thresholds = self._thresholds_from_variance(variance)
+        self._caps = self._feasible_caps(thresholds)
+        self._precomputed = True
+
+    def _thresholds_from_variance(self, variance: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _variance_ranks(variance: np.ndarray) -> np.ndarray:
+        """Rank of each pair when sorted by ascending variance (0 = most stable)."""
+        order = np.argsort(variance, kind="stable")
+        ranks = np.empty_like(order)
+        ranks[order] = np.arange(len(order))
+        return ranks
+
+
+class LinearSensitivityTE(_VarianceRankedTE):
+    """Linear per-pair sensitivity constraints (Appendix C.1).
+
+    Args:
+        path_set: Candidate paths.
+        min_threshold: Sensitivity allowed for the most bursty pair.
+        max_threshold: Sensitivity allowed for the most stable pair.
+        window: Anticipated-matrix window.
+    """
+
+    def __init__(
+        self,
+        path_set: PathSet,
+        min_threshold: float = 1.0 / 3.0,
+        max_threshold: float = 5.0 / 6.0,
+        window: int = 12,
+    ) -> None:
+        super().__init__(
+            path_set,
+            min_threshold=min_threshold,
+            max_threshold=max_threshold,
+            window=window,
+            name=f"Linear-F TE [{min_threshold:.2f},{max_threshold:.2f}]",
+        )
+
+    def _thresholds_from_variance(self, variance: np.ndarray) -> np.ndarray:
+        ranks = self._variance_ranks(variance)
+        num_pairs = len(variance)
+        if num_pairs == 1:
+            return np.array([self.max_threshold])
+        fraction = ranks / (num_pairs - 1)
+        return self.max_threshold - fraction * (self.max_threshold - self.min_threshold)
+
+
+class PiecewiseSensitivityTE(_VarianceRankedTE):
+    """Piecewise (two-level) per-pair sensitivity constraints (Appendix C.2).
+
+    Args:
+        path_set: Candidate paths.
+        min_threshold: Sensitivity allowed for bursty pairs (above the
+            breakpoint).
+        max_threshold: Sensitivity allowed for stable pairs (below the
+            breakpoint).
+        breakpoint: Fraction of pairs (by ascending variance rank) treated as
+            stable, e.g. 0.8 means the most stable 80% of pairs get the
+            relaxed threshold.
+        window: Anticipated-matrix window.
+    """
+
+    def __init__(
+        self,
+        path_set: PathSet,
+        min_threshold: float = 1.0 / 2.0,
+        max_threshold: float = 2.0 / 3.0,
+        breakpoint: float = 0.8,
+        window: int = 12,
+    ) -> None:
+        if not 0.0 <= breakpoint <= 1.0:
+            raise ValueError("breakpoint must be in [0, 1]")
+        super().__init__(
+            path_set,
+            min_threshold=min_threshold,
+            max_threshold=max_threshold,
+            window=window,
+            name=f"Piecewise-F TE [{min_threshold:.2f},{max_threshold:.2f},bp={breakpoint}]",
+        )
+        self.breakpoint = breakpoint
+
+    def _thresholds_from_variance(self, variance: np.ndarray) -> np.ndarray:
+        ranks = self._variance_ranks(variance)
+        num_pairs = len(variance)
+        cutoff = self.breakpoint * max(num_pairs - 1, 1)
+        return np.where(ranks <= cutoff, self.max_threshold, self.min_threshold)

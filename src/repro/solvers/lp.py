@@ -1,0 +1,224 @@
+"""Linear-programming MLU minimisation (Appendix B, Equation 9).
+
+Given a demand matrix and a candidate path set, the optimal split ratios that
+minimise the maximum link utilisation are the solution of the LP:
+
+    minimise    t
+    subject to  sum_{p in P_sd} r_p = 1                      for every SD pair
+                sum_{p: e in p} D_{sd(p)} r_p <= t * c(e)    for every edge e
+                r_p >= 0
+
+This module provides the raw solver (:func:`solve_mlu_lp`), the omniscient
+benchmark used to normalise every MLU the paper reports
+(:func:`omniscient_mlu`), and the two simplest schemes built directly on the
+LP: :class:`OmniscientTE` (perfect knowledge of the next demand) and
+:class:`PredictionBasedTE` (solve for a demand predicted from history).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.paths.path_set import PathSet
+from repro.te.config import TEConfiguration
+from repro.te.scheme import TEScheme
+
+__all__ = [
+    "LPSolveError",
+    "solve_mlu_lp",
+    "omniscient_mlu",
+    "OmniscientTE",
+    "PredictionBasedTE",
+    "predict_demand",
+]
+
+
+class LPSolveError(RuntimeError):
+    """Raised when the LP solver fails to find an optimal solution."""
+
+
+def _build_edge_constraints(path_set: PathSet, demand_vector: np.ndarray) -> sparse.csr_matrix:
+    """Rows = edges; columns = paths; entry = demand carried if ratio is 1."""
+    demand_per_path = path_set.demand_per_path(np.asarray(demand_vector, dtype=float))
+    # Scale each path's incidence column by its pair's demand.
+    scaling = sparse.diags(demand_per_path)
+    return (path_set.path_to_edge.T @ scaling).tocsr()
+
+
+def solve_mlu_lp(
+    path_set: PathSet,
+    demand_vector: np.ndarray,
+    sensitivity_caps: np.ndarray | None = None,
+    path_mask: np.ndarray | None = None,
+) -> tuple[TEConfiguration, float]:
+    """Solve the MLU-minimisation LP for a single demand vector.
+
+    Args:
+        path_set: Candidate paths.
+        demand_vector: Demands in SD-pair order.
+        sensitivity_caps: Optional per-path upper bounds on the split ratio
+            implied by a path-sensitivity constraint (``r_p <= cap_p``).  This
+            is how the Desensitization-based and heuristic-F schemes restrict
+            the solution space.
+        path_mask: Optional boolean mask of usable paths (False = the path is
+            unavailable, e.g. it traverses a failed link).  Pairs whose paths
+            are all masked keep a uniform split.
+
+    Returns:
+        ``(configuration, optimal MLU)``.
+
+    Raises:
+        LPSolveError: If the LP is infeasible or the solver fails.
+    """
+    num_paths = path_set.num_paths
+    num_edges = path_set.topology.num_edges
+    num_pairs = path_set.num_sd_pairs
+    demand_vector = np.asarray(demand_vector, dtype=float)
+
+    # Variable layout: [r_0 ... r_{P-1}, t].
+    cost = np.zeros(num_paths + 1)
+    cost[-1] = 1.0
+
+    # Equality: per-pair ratios sum to one.
+    a_eq = sparse.hstack(
+        [path_set.sd_to_path, sparse.csr_matrix((num_pairs, 1))]
+    ).tocsr()
+    b_eq = np.ones(num_pairs)
+
+    # Inequality: per-edge load minus t * capacity <= 0.
+    edge_rows = _build_edge_constraints(path_set, demand_vector)
+    capacity_col = sparse.csr_matrix(
+        (-path_set.topology.capacities, (np.arange(num_edges), np.zeros(num_edges, dtype=int))),
+        shape=(num_edges, 1),
+    )
+    a_ub = sparse.hstack([edge_rows, capacity_col]).tocsr()
+    b_ub = np.zeros(num_edges)
+
+    upper = np.ones(num_paths)
+    if sensitivity_caps is not None:
+        caps = np.asarray(sensitivity_caps, dtype=float)
+        if caps.shape != (num_paths,):
+            raise ValueError("sensitivity_caps must have one entry per path")
+        upper = np.minimum(upper, np.clip(caps, 0.0, 1.0))
+    if path_mask is not None:
+        mask = np.asarray(path_mask, dtype=bool)
+        if mask.shape != (num_paths,):
+            raise ValueError("path_mask must have one entry per path")
+        # Pairs whose candidate paths have all been masked keep the LP
+        # feasible by re-allowing all of their paths (their traffic is lost
+        # in reality; the caller decides how to account for it).
+        pair_has_path = np.zeros(num_pairs, dtype=bool)
+        np.logical_or.at(pair_has_path, path_set.path_sd_index, mask)
+        effective_mask = mask | ~pair_has_path[path_set.path_sd_index]
+        upper = np.where(effective_mask, upper, 0.0)
+
+    # Guarantee feasibility: if a pair's ratio upper bounds sum to less than
+    # one (tight sensitivity caps, possibly combined with masked paths), relax
+    # that pair's usable caps to 1 -- the same escape hatch Appendix C.1
+    # describes for over-tight constraints.
+    cap_sums = np.zeros(num_pairs)
+    np.add.at(cap_sums, path_set.path_sd_index, upper)
+    infeasible_pairs = cap_sums < 1.0 - 1e-9
+    if infeasible_pairs.any():
+        relax = infeasible_pairs[path_set.path_sd_index] & (upper > 0.0)
+        upper = np.where(relax, 1.0, upper)
+        # A pair whose caps were all zero (fully masked and zero-capped) gets
+        # every path re-enabled so the LP remains well posed.
+        cap_sums = np.zeros(num_pairs)
+        np.add.at(cap_sums, path_set.path_sd_index, upper)
+        still_bad = cap_sums < 1.0 - 1e-9
+        if still_bad.any():
+            upper = np.where(still_bad[path_set.path_sd_index], 1.0, upper)
+
+    bounds = [(0.0, float(u)) for u in upper] + [(0.0, None)]
+
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise LPSolveError(f"MLU LP failed: {result.message}")
+    ratios = result.x[:num_paths]
+    mlu = float(result.x[-1])
+    return TEConfiguration(path_set, ratios, normalize=True), mlu
+
+
+def omniscient_mlu(path_set: PathSet, demand_vector: np.ndarray) -> float:
+    """Optimal MLU with perfect knowledge of the demand (the paper's oracle).
+
+    Every MLU reported by the paper's figures is normalised by this value.
+    Returns a tiny positive floor instead of exactly zero for all-zero
+    demands so normalisation never divides by zero.
+    """
+    _, mlu = solve_mlu_lp(path_set, demand_vector)
+    return max(mlu, 1e-12)
+
+
+def predict_demand(history: np.ndarray, strategy: str = "last") -> np.ndarray:
+    """Predict the next demand vector from a window of historical demands.
+
+    Args:
+        history: Array of shape ``(H, num_sd_pairs)``, oldest first.
+        strategy: ``"last"`` (use the most recent matrix, the paper's choice
+            for prediction-based TE), ``"mean"`` (window average), ``"ewma"``
+            (exponentially weighted average), or ``"peak"`` (per-pair window
+            maximum, used by the Desensitization scheme's anticipated matrix).
+    """
+    history = np.asarray(history, dtype=float)
+    if history.ndim != 2 or history.shape[0] < 1:
+        raise ValueError("history must be a (H, num_sd_pairs) array with H >= 1")
+    if strategy == "last":
+        return history[-1]
+    if strategy == "mean":
+        return history.mean(axis=0)
+    if strategy == "ewma":
+        weights = 0.5 ** np.arange(history.shape[0] - 1, -1, -1)
+        weights = weights / weights.sum()
+        return weights @ history
+    if strategy == "peak":
+        return history.max(axis=0)
+    raise ValueError(f"unknown prediction strategy {strategy!r}")
+
+
+class OmniscientTE(TEScheme):
+    """Oracle TE: optimises for the demand that will actually arrive.
+
+    The evaluation harness treats this scheme specially (it is given the true
+    next demand instead of history); it exists mainly to normalise MLUs.
+    """
+
+    def __init__(self, path_set: PathSet) -> None:
+        super().__init__(path_set, name="Omniscient")
+
+    def configure(self, history: np.ndarray) -> TEConfiguration:
+        # Called with the *true* demand as the last history row by the runner.
+        config, _ = solve_mlu_lp(self.path_set, np.asarray(history)[-1])
+        return config
+
+
+class PredictionBasedTE(TEScheme):
+    """Demand-prediction-based TE (B4/SWAN style, baseline (4) of Section 5.1).
+
+    Predicts the next demand from the recent history and optimises MLU for the
+    prediction with no burst-handling mechanism.
+
+    Args:
+        path_set: Candidate paths.
+        strategy: Prediction strategy passed to :func:`predict_demand`.
+    """
+
+    def __init__(self, path_set: PathSet, strategy: str = "last") -> None:
+        super().__init__(path_set, name=f"Pred TE ({strategy})")
+        self.strategy = strategy
+
+    def configure(self, history: np.ndarray) -> TEConfiguration:
+        prediction = predict_demand(np.asarray(history), self.strategy)
+        config, _ = solve_mlu_lp(self.path_set, prediction)
+        return config

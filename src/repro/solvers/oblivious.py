@@ -1,0 +1,255 @@
+"""Demand-oblivious traffic engineering (Applegate & Cohen, 2003).
+
+Oblivious TE (baseline (3) of Section 5.1) chooses one fixed routing that
+minimises the *oblivious performance ratio*: the worst case, over every
+possible demand matrix, of the routing's MLU divided by the best possible MLU
+for that demand.  Applegate & Cohen showed the problem is a polynomially
+sized LP by dualising the inner adversarial maximisation; this module
+implements their formulation restricted to a candidate path set (our routing
+splits demand over the path set; the adversary's optimal routing may use any
+edge, which keeps the guarantee conservative).
+
+Formulation (variables ``r_p`` for path split ratios, ``t`` for the oblivious
+ratio, and per observed edge ``a``: edge weights ``w_a(l) >= 0`` and node
+potentials ``pi_a(s, j) >= 0`` with ``pi_a(s, s) = 0``):
+
+    minimise t
+    s.t.  sum_{p in P_sd} r_p = 1                          for every SD pair
+          sum_l c(l) * w_a(l) <= t                          for every edge a
+          pi_a(s, j) - pi_a(s, i) <= w_a(i, j)              for every a, s, (i, j)
+          g_a(s, d) / c(a) <= pi_a(s, d)                    for every a, (s, d)
+          where g_a(s, d) = sum_{p in P_sd, a in p} r_p
+
+The LP grows as O(|E|^2 + |E| |V|^2) variables, which is why the paper (and
+this reproduction) only runs Oblivious/COPE on small topologies (Table 2
+marks larger instances infeasible).  COPE (see :mod:`repro.solvers.cope`)
+re-uses the same dual blocks with a constant worst-case bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.paths.path_set import PathSet
+from repro.solvers.lp import LPSolveError
+from repro.te.config import TEConfiguration
+from repro.te.scheme import TEScheme
+from repro.traffic.matrix import TrafficMatrixSequence
+
+__all__ = [
+    "solve_oblivious_routing",
+    "ObliviousTE",
+    "oblivious_problem_size",
+    "ObliviousDualBlocks",
+    "build_dual_blocks",
+]
+
+#: Above this many LP variables the oblivious formulation is declared
+#: infeasible for practical purposes (mirrors the paper's Table 2).
+MAX_PRACTICAL_VARIABLES = 2_000_000
+
+
+def oblivious_problem_size(path_set: PathSet) -> int:
+    """Number of LP variables the oblivious formulation would need."""
+    num_edges = path_set.topology.num_edges
+    num_nodes = path_set.topology.num_nodes
+    return (
+        path_set.num_paths
+        + 1
+        + num_edges * num_edges
+        + num_edges * num_nodes * num_nodes
+    )
+
+
+@dataclass
+class ObliviousDualBlocks:
+    """Sparse pieces of the Applegate-Cohen dual constraints.
+
+    Attributes:
+        a_ub: Inequality matrix over the full variable vector.
+        b_ub: Right-hand sides.
+        num_vars: Total number of LP variables (paths + ratio + duals).
+        t_index: Column index of the oblivious-ratio variable ``t``.
+    """
+
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    num_vars: int
+    t_index: int
+
+
+def build_dual_blocks(path_set: PathSet, ratio_bound: float | None = None) -> ObliviousDualBlocks:
+    """Build the dual constraint blocks shared by Oblivious TE and COPE.
+
+    Args:
+        path_set: Candidate paths.
+        ratio_bound: If ``None``, the per-edge weight budget is bounded by the
+            LP variable ``t`` (pure oblivious objective).  If a float, the
+            budget is bounded by that constant instead (COPE's penalty
+            envelope), leaving ``t`` free for another role.
+
+    Raises:
+        LPSolveError: If the topology is too large for the formulation.
+    """
+    topology = path_set.topology
+    num_paths = path_set.num_paths
+    num_edges = topology.num_edges
+    num_nodes = topology.num_nodes
+    capacities = topology.capacities
+
+    total_vars = oblivious_problem_size(path_set)
+    if total_vars > MAX_PRACTICAL_VARIABLES:
+        raise LPSolveError(
+            f"oblivious LP would need {total_vars} variables; "
+            "the formulation is impractical for this topology (cf. Table 2)"
+        )
+
+    # Variable layout:
+    #   [r_0 .. r_{P-1}, t, w_{a, l} (a major, l minor), pi_{a}(s, j)]
+    t_index = num_paths
+    w_offset = num_paths + 1
+    pi_offset = w_offset + num_edges * num_edges
+    num_vars = pi_offset + num_edges * num_nodes * num_nodes
+
+    def w_index(a: int, l: int) -> int:
+        return w_offset + a * num_edges + l
+
+    def pi_index(a: int, s: int, j: int) -> int:
+        return pi_offset + (a * num_nodes + s) * num_nodes + j
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    b_ub: list[float] = []
+    row = 0
+
+    def add_entry(r: int, c: int, v: float) -> None:
+        rows.append(r)
+        cols.append(c)
+        vals.append(v)
+
+    # Paths crossing each edge, grouped later by SD pair.
+    paths_on_edge: list[list[int]] = [[] for _ in range(num_edges)]
+    incidence = path_set.path_to_edge.tocoo()
+    for p_idx, e_idx in zip(incidence.row, incidence.col):
+        paths_on_edge[int(e_idx)].append(int(p_idx))
+
+    edge_endpoints = [(e.src, e.dst) for e in topology.edges]
+    sd_pairs = path_set.sd_pairs
+
+    for a in range(num_edges):
+        # (1) sum_l c(l) w_a(l) <= t  (or <= ratio_bound for COPE).
+        for l in range(num_edges):
+            add_entry(row, w_index(a, l), capacities[l])
+        if ratio_bound is None:
+            add_entry(row, t_index, -1.0)
+            b_ub.append(0.0)
+        else:
+            b_ub.append(float(ratio_bound))
+        row += 1
+
+        # (2) triangle inequalities: pi_a(s, j) - pi_a(s, i) - w_a(i, j) <= 0.
+        for l, (i, j) in enumerate(edge_endpoints):
+            for s in range(num_nodes):
+                if j == s:
+                    # pi_a(s, s) = 0, and -pi_a(s, i) <= w_a is implied by the
+                    # non-negativity bounds, so the row is redundant.
+                    continue
+                add_entry(row, pi_index(a, s, j), 1.0)
+                if i != s:
+                    add_entry(row, pi_index(a, s, i), -1.0)
+                add_entry(row, w_index(a, l), -1.0)
+                b_ub.append(0.0)
+                row += 1
+
+        # (3) g_a(s, d) / c(a) - pi_a(s, d) <= 0.
+        inv_cap_a = 1.0 / capacities[a]
+        per_pair_paths: dict[int, list[int]] = {}
+        for p_idx in paths_on_edge[a]:
+            per_pair_paths.setdefault(int(path_set.path_sd_index[p_idx]), []).append(p_idx)
+        for pair_idx, p_indices in per_pair_paths.items():
+            s, d = sd_pairs[pair_idx]
+            for p_idx in p_indices:
+                add_entry(row, p_idx, inv_cap_a)
+            add_entry(row, pi_index(a, s, d), -1.0)
+            b_ub.append(0.0)
+            row += 1
+
+    a_ub = sparse.csr_matrix((vals, (rows, cols)), shape=(row, num_vars))
+    return ObliviousDualBlocks(
+        a_ub=a_ub, b_ub=np.array(b_ub), num_vars=num_vars, t_index=t_index
+    )
+
+
+def split_ratio_equalities(path_set: PathSet, num_vars: int) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Per-pair "split ratios sum to one" equality rows over ``num_vars`` columns."""
+    rows, cols, vals = [], [], []
+    for pair_idx, (s, d) in enumerate(path_set.sd_pairs):
+        for p_idx in path_set.path_indices_for(s, d):
+            rows.append(pair_idx)
+            cols.append(p_idx)
+            vals.append(1.0)
+    a_eq = sparse.csr_matrix((vals, (rows, cols)), shape=(path_set.num_sd_pairs, num_vars))
+    return a_eq, np.ones(path_set.num_sd_pairs)
+
+
+def solve_oblivious_routing(path_set: PathSet) -> tuple[TEConfiguration, float]:
+    """Solve the oblivious-routing LP over a candidate path set.
+
+    Returns:
+        ``(configuration, oblivious ratio)``.
+
+    Raises:
+        LPSolveError: If the topology is too large or the LP fails.
+    """
+    blocks = build_dual_blocks(path_set, ratio_bound=None)
+    a_eq, b_eq = split_ratio_equalities(path_set, blocks.num_vars)
+
+    cost = np.zeros(blocks.num_vars)
+    cost[blocks.t_index] = 1.0
+    bounds = [(0.0, 1.0)] * path_set.num_paths + [(0.0, None)] * (
+        blocks.num_vars - path_set.num_paths
+    )
+    result = linprog(
+        cost,
+        A_ub=blocks.a_ub,
+        b_ub=blocks.b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise LPSolveError(f"oblivious LP failed: {result.message}")
+    ratios = result.x[: path_set.num_paths]
+    return TEConfiguration(path_set, ratios, normalize=True), float(result.fun)
+
+
+class ObliviousTE(TEScheme):
+    """Demand-oblivious TE: one fixed routing optimised for the worst case.
+
+    The routing is computed once during :meth:`precompute` (or lazily on the
+    first :meth:`configure` call) and never updated, matching the paper's
+    treatment in Table 2.
+    """
+
+    def __init__(self, path_set: PathSet) -> None:
+        super().__init__(path_set, name="Oblivious")
+        self._config: TEConfiguration | None = None
+        self.oblivious_ratio: float | None = None
+
+    def precompute(self, train_sequence: TrafficMatrixSequence) -> None:
+        self._solve()
+
+    def _solve(self) -> None:
+        if self._config is None:
+            self._config, self.oblivious_ratio = solve_oblivious_routing(self.path_set)
+
+    def configure(self, history: np.ndarray) -> TEConfiguration:
+        self._solve()
+        assert self._config is not None
+        return self._config

@@ -1,0 +1,16 @@
+"""Traffic engineering machinery shared by all TE schemes."""
+
+from repro.te.config import TEConfiguration
+from repro.te.mlu import link_loads, link_utilization, max_link_utilization
+from repro.te.sensitivity import path_sensitivities, max_sensitivity_per_pair
+from repro.te.failures import reroute_around_failures
+
+__all__ = [
+    "TEConfiguration",
+    "link_loads",
+    "link_utilization",
+    "max_link_utilization",
+    "path_sensitivities",
+    "max_sensitivity_per_pair",
+    "reroute_around_failures",
+]

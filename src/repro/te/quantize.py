@@ -1,0 +1,61 @@
+"""WCMP quantization of TE configurations.
+
+The paper notes (Section 7) that FIGRET only requires switches supporting
+WCMP (weighted-cost multipath).  Real WCMP implementations cannot install
+arbitrary real-valued split ratios: each SD pair's ratios must be expressed as
+small integer weights (bounded table entries).  This module quantizes a
+:class:`~repro.te.config.TEConfiguration` to integer weights out of a fixed
+total (largest-remainder rounding, which keeps each pair's weights summing to
+exactly the total) and helps quantify the MLU penalty of quantization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.te.config import TEConfiguration
+
+__all__ = ["quantize_configuration", "quantization_error"]
+
+
+def quantize_configuration(config: TEConfiguration, total_weight: int = 16) -> TEConfiguration:
+    """Quantize split ratios to integer weights out of ``total_weight``.
+
+    Each SD pair's ratios are scaled to ``total_weight`` and rounded with the
+    largest-remainder method, so the quantized weights are non-negative
+    integers summing exactly to ``total_weight`` (hence the quantized ratios
+    still sum to one).
+
+    Args:
+        config: The configuration to quantize.
+        total_weight: WCMP weight budget per SD pair (e.g. 16 or 64 table
+            entries).  Larger budgets approximate the real-valued ratios more
+            closely.
+
+    Returns:
+        A new configuration with quantized ratios.
+    """
+    if total_weight < 1:
+        raise ValueError("total_weight must be at least 1")
+    path_set = config.path_set
+    quantized = np.zeros_like(config.split_ratios)
+    for src, dst in path_set.sd_pairs:
+        indices = np.array(path_set.path_indices_for(src, dst))
+        ratios = config.split_ratios[indices]
+        scaled = ratios * total_weight
+        floors = np.floor(scaled).astype(int)
+        remainder = int(total_weight - floors.sum())
+        if remainder > 0:
+            # Give the leftover units to the paths with the largest fractional
+            # parts (ties broken by original ratio, largest first).
+            fractional = scaled - floors
+            order = np.lexsort((-ratios, -fractional))
+            floors[order[:remainder]] += 1
+        quantized[indices] = floors / total_weight
+    return TEConfiguration(path_set, quantized, normalize=False)
+
+
+def quantization_error(config: TEConfiguration, total_weight: int = 16) -> float:
+    """Maximum absolute per-path ratio change introduced by quantization."""
+    quantized = quantize_configuration(config, total_weight=total_weight)
+    return float(np.abs(quantized.split_ratios - config.split_ratios).max())

@@ -1,0 +1,60 @@
+"""Common interface implemented by every TE scheme in this repository.
+
+A TE scheme's lifecycle in the paper's evaluation is:
+
+1. ``precompute(train_sequence)`` -- one-time work performed on the training
+   portion of the trace: training the DNN (FIGRET/DOTE), estimating per-pair
+   statistics (Des TE, heuristic-F schemes), or solving the oblivious/COPE
+   LPs.
+2. ``configure(history)`` -- called once per evaluation interval with the
+   ``H`` most recent demand vectors; must return the TE configuration that
+   will carry the *next* (unseen) demand matrix.
+
+All schemes operate on a shared :class:`~repro.paths.path_set.PathSet`, so
+their outputs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.paths.path_set import PathSet
+from repro.te.config import TEConfiguration
+from repro.traffic.matrix import TrafficMatrixSequence
+
+__all__ = ["TEScheme"]
+
+
+class TEScheme(abc.ABC):
+    """Abstract base class for traffic engineering schemes.
+
+    Args:
+        path_set: The candidate paths shared by all schemes under comparison.
+        name: Human readable scheme name used in reports.
+    """
+
+    def __init__(self, path_set: PathSet, name: str) -> None:
+        self.path_set = path_set
+        self.name = name
+
+    def precompute(self, train_sequence: TrafficMatrixSequence) -> None:
+        """One-time precomputation / training on historical traffic.
+
+        The default implementation does nothing, which is correct for
+        schemes that need no training (e.g. plain prediction-based LP TE).
+        """
+
+    @abc.abstractmethod
+    def configure(self, history: np.ndarray) -> TEConfiguration:
+        """Produce the configuration for the next interval.
+
+        Args:
+            history: Array of shape ``(H, num_sd_pairs)`` holding the ``H``
+                most recent demand vectors, oldest first.  Schemes that only
+                need the most recent matrix use ``history[-1]``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,58 @@
+"""Path sensitivity: the robustness metric of Section 4.1.
+
+The sensitivity of path ``p`` is ``S_p = r_p / C_p`` where ``r_p`` is its
+split ratio and ``C_p`` its (bottleneck) capacity.  Bounding ``S_p`` bounds
+the impact any burst on the pair served by ``p`` can have on the utilisation
+of the edges of ``p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.paths.path_set import PathSet
+
+__all__ = [
+    "path_sensitivities",
+    "max_sensitivity_per_pair",
+    "normalized_path_capacities",
+]
+
+
+def normalized_path_capacities(path_set: PathSet) -> np.ndarray:
+    """Path capacities normalised so the smallest edge capacity equals one.
+
+    The paper normalises capacities this way when reporting sensitivities
+    (Section 5.5), so constraints like "sensitivity <= 2/3" are comparable
+    across topologies.
+    """
+    min_capacity = path_set.topology.capacities.min()
+    return path_set.path_capacities / min_capacity
+
+
+def path_sensitivities(path_set: PathSet, split_ratios, normalized: bool = False) -> np.ndarray:
+    """Per-path sensitivity ``S_p = r_p / C_p``.
+
+    Args:
+        path_set: Candidate paths.
+        split_ratios: A TEConfiguration or an array of per-path split ratios.
+        normalized: If True, use capacities normalised to the topology's
+            smallest edge capacity (the convention of Figure 8).
+    """
+    ratios = getattr(split_ratios, "split_ratios", split_ratios)
+    ratios = np.asarray(ratios, dtype=float)
+    caps = normalized_path_capacities(path_set) if normalized else path_set.path_capacities
+    return ratios / caps
+
+
+def max_sensitivity_per_pair(path_set: PathSet, split_ratios, normalized: bool = False) -> np.ndarray:
+    """``S^max_sd``: the maximum sensitivity among each SD pair's paths.
+
+    Returns an array of length ``num_sd_pairs`` in SD-pair order.  This is
+    the quantity weighted by per-pair traffic variance in FIGRET's loss
+    (Equation 8).
+    """
+    sens = path_sensitivities(path_set, split_ratios, normalized=normalized)
+    result = np.zeros(path_set.num_sd_pairs)
+    np.maximum.at(result, path_set.path_sd_index, sens)
+    return result

@@ -1,0 +1,6 @@
+"""Network topology substrate: capacitated directed graphs and generators."""
+
+from repro.topology.graph import Topology
+from repro.topology import generators, zoo
+
+__all__ = ["Topology", "generators", "zoo"]

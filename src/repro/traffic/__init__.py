@@ -1,0 +1,20 @@
+"""Traffic substrate: demand matrices, generators, perturbations, statistics."""
+
+from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSequence
+from repro.traffic.gravity import gravity_matrix, GravityTrafficGenerator
+from repro.traffic.wan import GeantLikeGenerator
+from repro.traffic.bursty import DataCenterTrafficGenerator
+from repro.traffic.pfabric import PFabricTrafficGenerator
+from repro.traffic import perturb, stats
+
+__all__ = [
+    "TrafficMatrix",
+    "TrafficMatrixSequence",
+    "gravity_matrix",
+    "GravityTrafficGenerator",
+    "GeantLikeGenerator",
+    "DataCenterTrafficGenerator",
+    "PFabricTrafficGenerator",
+    "perturb",
+    "stats",
+]

@@ -1,0 +1,198 @@
+"""Demand matrices and demand matrix sequences.
+
+A demand matrix (DM) is a ``|V| x |V|`` non-negative matrix whose ``(i, j)``
+entry is the traffic demand from node ``i`` to node ``j`` (Section 3).  TE
+operates on a time series of DMs; :class:`TrafficMatrixSequence` stores such
+a series and provides the train/test splitting, windowing, and per-pair
+statistics used throughout the evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["TrafficMatrix", "TrafficMatrixSequence"]
+
+
+class TrafficMatrix:
+    """A single demand matrix.
+
+    Args:
+        matrix: Square non-negative array.  The diagonal is forced to zero
+            (a node never sends demand to itself).
+    """
+
+    def __init__(self, matrix) -> None:
+        data = np.asarray(matrix, dtype=float).copy()
+        if data.ndim != 2 or data.shape[0] != data.shape[1]:
+            raise ValueError(f"demand matrix must be square, got shape {data.shape}")
+        if np.any(data < 0):
+            raise ValueError("demand matrix entries must be non-negative")
+        np.fill_diagonal(data, 0.0)
+        self._data = data
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._data.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying matrix (copy)."""
+        return self._data.copy()
+
+    def demand(self, src: int, dst: int) -> float:
+        """Demand from ``src`` to ``dst``."""
+        return float(self._data[src, dst])
+
+    def total(self) -> float:
+        """Total demand across all pairs."""
+        return float(self._data.sum())
+
+    def flat(self) -> np.ndarray:
+        """Flatten to a vector in row-major SD-pair order (diagonal removed)."""
+        n = self.num_nodes
+        mask = ~np.eye(n, dtype=bool)
+        return self._data[mask]
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """Return a copy scaled by ``factor``."""
+        return TrafficMatrix(self._data * factor)
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        return self._data.astype(dtype) if dtype is not None else self._data.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"TrafficMatrix(nodes={self.num_nodes}, total={self.total():.3f})"
+
+
+class TrafficMatrixSequence:
+    """A time-ordered sequence of demand matrices.
+
+    Args:
+        matrices: Iterable of :class:`TrafficMatrix`, arrays, or a single 3-D
+            array of shape ``(T, n, n)``.
+        interval_seconds: Length of each aggregation interval (metadata only).
+        name: Human readable name of the trace.
+    """
+
+    def __init__(self, matrices, interval_seconds: float = 60.0, name: str = "trace") -> None:
+        if isinstance(matrices, np.ndarray) and matrices.ndim == 3:
+            items: list[TrafficMatrix] = [TrafficMatrix(m) for m in matrices]
+        else:
+            items = [
+                m if isinstance(m, TrafficMatrix) else TrafficMatrix(m)
+                for m in matrices
+            ]
+        if not items:
+            raise ValueError("a traffic matrix sequence cannot be empty")
+        num_nodes = items[0].num_nodes
+        if any(m.num_nodes != num_nodes for m in items):
+            raise ValueError("all demand matrices must have the same number of nodes")
+        self._matrices = items
+        self.interval_seconds = float(interval_seconds)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Sequence protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._matrices)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TrafficMatrixSequence(
+                self._matrices[index],
+                interval_seconds=self.interval_seconds,
+                name=self.name,
+            )
+        return self._matrices[index]
+
+    def __iter__(self) -> Iterator[TrafficMatrix]:
+        return iter(self._matrices)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in each matrix."""
+        return self._matrices[0].num_nodes
+
+    # ------------------------------------------------------------------ #
+    # Array views
+    # ------------------------------------------------------------------ #
+    def as_array(self) -> np.ndarray:
+        """Stack into a ``(T, n, n)`` array."""
+        return np.stack([m.matrix for m in self._matrices])
+
+    def flat_demands(self) -> np.ndarray:
+        """Stack into a ``(T, n*(n-1))`` array in SD-pair order."""
+        return np.stack([m.flat() for m in self._matrices])
+
+    # ------------------------------------------------------------------ #
+    # Statistics used by FIGRET's loss and the evaluation
+    # ------------------------------------------------------------------ #
+    def pair_variance(self) -> np.ndarray:
+        """Per-SD-pair variance of demand over time (sigma^2 of Equation 8)."""
+        return self.flat_demands().var(axis=0)
+
+    def pair_std(self) -> np.ndarray:
+        """Per-SD-pair standard deviation of demand over time."""
+        return self.flat_demands().std(axis=0)
+
+    def pair_mean(self) -> np.ndarray:
+        """Per-SD-pair mean demand over time."""
+        return self.flat_demands().mean(axis=0)
+
+    # ------------------------------------------------------------------ #
+    # Splitting and windowing
+    # ------------------------------------------------------------------ #
+    def split(self, train_fraction: float = 0.75) -> tuple["TrafficMatrixSequence", "TrafficMatrixSequence"]:
+        """Chronological train/test split (the paper trains on the first 75%)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        cut = int(round(len(self) * train_fraction))
+        cut = max(1, min(len(self) - 1, cut))
+        return self[:cut], self[cut:]
+
+    def segment(self, start_fraction: float, end_fraction: float) -> "TrafficMatrixSequence":
+        """Return the sub-sequence between two fractional positions.
+
+        Used by the natural-drift experiment (Table 4), e.g.
+        ``segment(0.25, 0.5)`` trains on the second quarter of the trace.
+        """
+        if not 0.0 <= start_fraction < end_fraction <= 1.0:
+            raise ValueError("need 0 <= start < end <= 1")
+        start = int(round(len(self) * start_fraction))
+        end = int(round(len(self) * end_fraction))
+        end = max(end, start + 1)
+        return self[start:end]
+
+    def windows(self, history: int) -> Iterable[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(history_window, target)`` pairs of flattened demands.
+
+        For every ``t >= history``, yields the stacked window
+        ``(history, n*(n-1))`` of demands ``D_{t-H} .. D_{t-1}`` and the
+        target demand vector ``D_t``.
+        """
+        if history < 1:
+            raise ValueError("history must be at least 1")
+        flat = self.flat_demands()
+        for t in range(history, len(self)):
+            yield flat[t - history : t], flat[t]
+
+    def concatenate(self, other: "TrafficMatrixSequence") -> "TrafficMatrixSequence":
+        """Append another sequence (same node count) after this one."""
+        if other.num_nodes != self.num_nodes:
+            raise ValueError("cannot concatenate sequences with different node counts")
+        return TrafficMatrixSequence(
+            list(self._matrices) + list(other._matrices),
+            interval_seconds=self.interval_seconds,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TrafficMatrixSequence(name={self.name!r}, length={len(self)}, "
+            f"nodes={self.num_nodes})"
+        )

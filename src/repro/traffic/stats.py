@@ -1,0 +1,82 @@
+"""Traffic statistics used by the paper's analysis figures.
+
+* :func:`variance_matrix` -- the per-pair demand variance heat map of
+  Figure 2.
+* :func:`cosine_similarity_profile` -- the "similarity of the current TM to
+  the closest of the last H TMs" analysis of Figures 4 and 18.
+* :func:`burstiness_summary` -- candlestick-style summary statistics
+  (percentiles) of the similarity profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.matrix import TrafficMatrixSequence
+
+__all__ = [
+    "variance_matrix",
+    "normalized_variance_matrix",
+    "cosine_similarity_profile",
+    "burstiness_summary",
+]
+
+
+def variance_matrix(sequence: TrafficMatrixSequence) -> np.ndarray:
+    """Per-pair demand variance as a ``|V| x |V|`` matrix (Figure 2)."""
+    array = sequence.as_array()
+    return array.var(axis=0)
+
+
+def normalized_variance_matrix(sequence: TrafficMatrixSequence) -> np.ndarray:
+    """Variance matrix normalised to [0, 1] (the paper normalises Figure 2)."""
+    var = variance_matrix(sequence)
+    peak = var.max()
+    if peak == 0:
+        return var
+    return var / peak
+
+
+def cosine_similarity_profile(sequence: TrafficMatrixSequence, history: int = 12) -> np.ndarray:
+    """Best cosine similarity of each TM to the preceding ``history`` TMs.
+
+    For every time ``t >= history`` the profile contains
+    ``max_{h in [t-H, t)} cos(D_t, D_h)``.  Values near 1 mean the demand is
+    predictable from recent history; low values flag unexpected bursts
+    (Figure 4; Figure 18 repeats the analysis with H = 64).
+    """
+    if history < 1:
+        raise ValueError("history must be at least 1")
+    flats = sequence.flat_demands()
+    norms = np.linalg.norm(flats, axis=1)
+    similarities = []
+    for t in range(history, len(sequence)):
+        current = flats[t]
+        current_norm = norms[t]
+        window = flats[t - history : t]
+        window_norms = norms[t - history : t]
+        denom = current_norm * window_norms
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cos = np.where(denom > 0, window @ current / denom, 0.0)
+        similarities.append(float(cos.max()) if len(cos) else 0.0)
+    return np.array(similarities)
+
+
+def burstiness_summary(sequence: TrafficMatrixSequence, history: int = 12) -> dict[str, float]:
+    """Candlestick summary of the cosine-similarity profile (Figure 4).
+
+    Returns the 5th/25th/50th/75th/95th percentiles and the mean of the
+    similarity profile.  Lower percentiles indicate burstier traffic.
+    """
+    profile = cosine_similarity_profile(sequence, history=history)
+    if len(profile) == 0:
+        raise ValueError("sequence too short for the requested history window")
+    percentiles = np.percentile(profile, [5, 25, 50, 75, 95])
+    return {
+        "p05": float(percentiles[0]),
+        "p25": float(percentiles[1]),
+        "p50": float(percentiles[2]),
+        "p75": float(percentiles[3]),
+        "p95": float(percentiles[4]),
+        "mean": float(profile.mean()),
+    }

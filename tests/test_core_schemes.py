@@ -1,0 +1,122 @@
+"""Unit tests for the FIGRET, DOTE and TEAL-like schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Dote, Figret, TealLike, TrainingConfig
+from repro.te.sensitivity import max_sensitivity_per_pair
+
+FAST = TrainingConfig(
+    epochs=4,
+    history_len=4,
+    hidden_sizes=(32, 32),
+    normalize_by_optimal=False,
+    robustness_weight=0.2,
+    seed=0,
+)
+
+
+class TestFigret:
+    def test_configure_before_precompute_raises(self, mesh4_paths):
+        with pytest.raises(RuntimeError):
+            Figret(mesh4_paths, FAST).configure(np.ones((4, 12)))
+
+    def test_valid_configuration_after_training(self, mesh4_paths, mesh4_traffic):
+        scheme = Figret(mesh4_paths, FAST)
+        scheme.precompute(mesh4_traffic)
+        history = mesh4_traffic.flat_demands()[-4:]
+        config = scheme.configure(history)
+        sums = mesh4_paths.sd_to_path @ config.split_ratios
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+
+    def test_short_history_is_padded(self, mesh4_paths, mesh4_traffic):
+        scheme = Figret(mesh4_paths, FAST)
+        scheme.precompute(mesh4_traffic)
+        config = scheme.configure(mesh4_traffic.flat_demands()[:2])
+        sums = mesh4_paths.sd_to_path @ config.split_ratios
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+
+    def test_pair_variance_recorded(self, mesh4_paths, mesh4_traffic):
+        scheme = Figret(mesh4_paths, FAST)
+        scheme.precompute(mesh4_traffic)
+        np.testing.assert_allclose(scheme.pair_variance, mesh4_traffic.pair_variance())
+
+    def test_training_history_exposed(self, mesh4_paths, mesh4_traffic):
+        scheme = Figret(mesh4_paths, FAST)
+        scheme.precompute(mesh4_traffic)
+        assert len(scheme.training_history.epoch_losses) == FAST.epochs
+
+
+class TestDote:
+    def test_robustness_weight_forced_to_zero(self, mesh4_paths):
+        scheme = Dote(mesh4_paths, FAST)
+        assert scheme.config.robustness_weight == 0.0
+        assert scheme.config.history_len == FAST.history_len
+
+    def test_trains_and_configures(self, mesh4_paths, mesh4_traffic):
+        scheme = Dote(mesh4_paths, FAST)
+        scheme.precompute(mesh4_traffic)
+        config = scheme.configure(mesh4_traffic.flat_demands()[-4:])
+        sums = mesh4_paths.sd_to_path @ config.split_ratios
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+
+    def test_configure_before_precompute_raises(self, mesh4_paths):
+        with pytest.raises(RuntimeError):
+            Dote(mesh4_paths, FAST).configure(np.ones((4, 12)))
+
+
+class TestTealLike:
+    def test_history_len_is_one(self, mesh4_paths):
+        scheme = TealLike(mesh4_paths, FAST)
+        assert scheme.config.history_len == 1
+
+    def test_trains_and_configures(self, mesh4_paths, mesh4_traffic):
+        scheme = TealLike(mesh4_paths, FAST)
+        scheme.precompute(mesh4_traffic)
+        config = scheme.configure(mesh4_traffic.flat_demands()[-3:])
+        sums = mesh4_paths.sd_to_path @ config.split_ratios
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+
+    def test_configure_before_precompute_raises(self, mesh4_paths):
+        with pytest.raises(RuntimeError):
+            TealLike(mesh4_paths, FAST).configure(np.ones((1, 12)))
+
+
+class TestFigretVersusDote:
+    def test_figret_hedges_bursty_pairs_more_than_stable_ones(self, tor_scenario_small):
+        """The qualitative behaviour behind Figure 8: sensitivity tracks variance."""
+        _, paths, traffic = tor_scenario_small
+        config = TrainingConfig(
+            epochs=10, history_len=6, hidden_sizes=(64, 64), robustness_weight=0.5,
+            normalize_by_optimal=False, seed=1,
+        )
+        scheme = Figret(paths, config)
+        train, test = traffic.split(0.8)
+        scheme.precompute(train)
+        history = test.flat_demands()[:6]
+        te_config = scheme.configure(history)
+        sens = max_sensitivity_per_pair(paths, te_config, normalized=True)
+        variance = train.pair_variance()
+        bursty = variance >= np.percentile(variance, 80)
+        stable = variance <= np.percentile(variance, 20)
+        assert sens[bursty].mean() < sens[stable].mean()
+
+    def test_figret_sensitivity_below_dote_on_bursty_pairs(self, tor_scenario_small):
+        _, paths, traffic = tor_scenario_small
+        config = TrainingConfig(
+            epochs=10, history_len=6, hidden_sizes=(64, 64), robustness_weight=0.5,
+            normalize_by_optimal=False, seed=1,
+        )
+        train, test = traffic.split(0.8)
+        figret = Figret(paths, config)
+        dote = Dote(paths, config)
+        figret.precompute(train)
+        dote.precompute(train)
+        history = test.flat_demands()[:6]
+        variance = train.pair_variance()
+        bursty = variance >= np.percentile(variance, 80)
+        fig_sens = max_sensitivity_per_pair(paths, figret.configure(history), normalized=True)
+        dote_sens = max_sensitivity_per_pair(paths, dote.configure(history), normalized=True)
+        assert fig_sens[bursty].mean() <= dote_sens[bursty].mean() + 0.05

@@ -1,0 +1,82 @@
+"""Unit tests for the scenario registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets
+from repro.traffic.stats import burstiness_summary
+
+
+class TestRegistry:
+    def test_available_scenarios_contains_paper_set(self):
+        names = datasets.available_scenarios()
+        for required in (
+            "geant",
+            "uscarrier",
+            "cogentco",
+            "pfabric",
+            "meta_pod_db",
+            "meta_pod_web",
+            "meta_tor_db",
+            "meta_tor_web",
+        ):
+            assert required in names
+            assert f"{required}_small" in names or required in ("geant",)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            datasets.load("nonexistent")
+
+    def test_small_scenario_loads_quickly_and_consistently(self):
+        scenario = datasets.load("meta_pod_db_small", seed=1, num_intervals=50)
+        assert scenario.topology.num_nodes == 4
+        assert scenario.paths.num_sd_pairs == 12
+        assert len(scenario.traffic) == 50
+        again = datasets.load("meta_pod_db_small", seed=1, num_intervals=50)
+        assert (
+            scenario.traffic.flat_demands() == again.traffic.flat_demands()
+        ).all()
+
+    def test_split_respects_train_fraction(self):
+        scenario = datasets.load("pfabric_small", seed=2, num_intervals=40)
+        train, test = scenario.split()
+        assert len(train) == 30
+        assert len(test) == 10
+
+    def test_pod_web_has_eight_pods(self):
+        scenario = datasets.load("meta_pod_web_small", seed=0, num_intervals=20)
+        assert scenario.topology.num_nodes == 8
+        assert scenario.topology.num_edges == 56  # Table 1
+
+    def test_tor_small_uses_random_regular_graph(self):
+        scenario = datasets.load("meta_tor_db_small", seed=0, num_intervals=30)
+        degrees = {}
+        for edge in scenario.topology.edges:
+            degrees[edge.src] = degrees.get(edge.src, 0) + 1
+        assert len(set(degrees.values())) == 1  # regular graph
+
+    def test_tor_traffic_burstier_than_pod_traffic(self):
+        pod = datasets.load("meta_pod_db_small", seed=3, num_intervals=120)
+        tor = datasets.load("meta_tor_db_small", seed=3, num_intervals=120)
+        pod_p50 = burstiness_summary(pod.traffic, history=12)["p50"]
+        tor_p50 = burstiness_summary(tor.traffic, history=12)["p50"]
+        assert tor_p50 < pod_p50
+
+    def test_geant_small_is_mostly_stable(self):
+        scenario = datasets.load("geant_small", seed=4, num_intervals=100)
+        summary = burstiness_summary(scenario.traffic, history=12)
+        assert summary["p50"] > 0.9
+
+    def test_wan_gravity_scenarios_use_synthetic_wan(self):
+        scenario = datasets.load("uscarrier_small", seed=0, num_intervals=20)
+        assert scenario.topology.num_nodes == 40
+        assert "gravity" in scenario.traffic.name
+
+    def test_every_small_scenario_is_loadable(self):
+        for name in datasets.available_scenarios():
+            if not name.endswith("_small") and name != "geant_small":
+                continue
+            scenario = datasets.load(name, seed=0, num_intervals=15)
+            assert len(scenario.traffic) == 15
+            assert scenario.paths.num_sd_pairs == scenario.topology.num_sd_pairs

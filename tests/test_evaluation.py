@@ -1,0 +1,164 @@
+"""Unit tests for the evaluation harness (metrics, runner, timing, reporting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    SEVERE_CONGESTION_THRESHOLD,
+    normalized_mlu_statistics,
+    severe_congestion_fraction,
+)
+from repro.evaluation.reporting import format_mlu_comparison, format_series, format_table
+from repro.evaluation.runner import (
+    compare_schemes,
+    compute_optimal_mlus,
+    drift_experiment,
+    evaluate_scheme,
+    failure_experiment,
+    fluctuation_experiment,
+)
+from repro.evaluation.timing import measure_scheme_timing
+from repro.solvers import DesensitizationTE, OmniscientTE, PredictionBasedTE
+
+
+class TestMetrics:
+    def test_statistics_of_constant_series(self):
+        stats = normalized_mlu_statistics(np.full(50, 1.25))
+        assert stats.mean == pytest.approx(1.25)
+        assert stats.median == pytest.approx(1.25)
+        assert stats.worst == pytest.approx(1.25)
+        assert stats.severe_congestion_fraction == 0.0
+        assert stats.num_samples == 50
+
+    def test_percentile_ordering(self, rng):
+        stats = normalized_mlu_statistics(1.0 + rng.random(200))
+        assert stats.p25 <= stats.median <= stats.p75 <= stats.p90 <= stats.p95 <= stats.p99 <= stats.worst
+
+    def test_severe_congestion_fraction(self):
+        series = np.array([1.0, 1.5, 2.5, 3.0])
+        assert severe_congestion_fraction(series) == pytest.approx(0.5)
+        assert severe_congestion_fraction(series, threshold=2.9) == pytest.approx(0.25)
+        assert SEVERE_CONGESTION_THRESHOLD == 2.0
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_mlu_statistics(np.array([]))
+        with pytest.raises(ValueError):
+            severe_congestion_fraction(np.array([]))
+
+
+class TestRunner:
+    def test_omniscient_normalized_mlu_is_one(self, mesh4_paths, mesh4_traffic):
+        scheme = OmniscientTE(mesh4_paths)
+        result = evaluate_scheme(scheme, mesh4_traffic[:20], history_len=4, oracle_demand=True)
+        np.testing.assert_allclose(result.normalized_mlus, 1.0, atol=1e-5)
+
+    def test_normalization_uses_optimal(self, mesh4_paths, mesh4_traffic):
+        test = mesh4_traffic[:20]
+        optimal = compute_optimal_mlus(mesh4_paths, test.flat_demands())
+        scheme = PredictionBasedTE(mesh4_paths)
+        result = evaluate_scheme(scheme, test, history_len=4, optimal_mlus=optimal)
+        np.testing.assert_allclose(result.raw_mlus / result.optimal_mlus, result.normalized_mlus)
+        assert (result.normalized_mlus >= 1.0 - 1e-6).all()
+
+    def test_too_short_sequence_rejected(self, mesh4_paths, mesh4_traffic):
+        with pytest.raises(ValueError):
+            evaluate_scheme(PredictionBasedTE(mesh4_paths), mesh4_traffic[:3], history_len=5)
+
+    def test_compare_schemes_shares_normalisation(self, mesh4_paths, mesh4_traffic):
+        train, test = mesh4_traffic.split(0.7)
+        schemes = [PredictionBasedTE(mesh4_paths), DesensitizationTE(mesh4_paths)]
+        results = compare_schemes(schemes, train, test[:16], history_len=4)
+        assert set(results) == {"Pred TE (last)", "Des TE"}
+        np.testing.assert_allclose(
+            results["Pred TE (last)"].optimal_mlus, results["Des TE"].optimal_mlus
+        )
+
+    def test_fluctuation_experiment_structure(self, mesh4_paths, mesh4_traffic):
+        train, test = mesh4_traffic.split(0.7)
+        scheme = DesensitizationTE(mesh4_paths)
+        outcome = fluctuation_experiment(
+            scheme, test[:16], train, history_len=4, alphas=(0.5, 2.0), seed=1
+        )
+        assert set(outcome) == {0.5, 2.0}
+        for entry in outcome.values():
+            assert set(entry) == {"average_decline", "p90_decline"}
+
+    def test_larger_fluctuations_cause_larger_decline(self, mesh4_paths, mesh4_traffic):
+        train, test = mesh4_traffic.split(0.7)
+        scheme = PredictionBasedTE(mesh4_paths)
+        outcome = fluctuation_experiment(
+            scheme, test[:16], train, history_len=4, alphas=(0.2, 2.0), seed=3
+        )
+        assert outcome[2.0]["average_decline"] >= outcome[0.2]["average_decline"] - 0.02
+
+    def test_worst_case_fluctuation_at_least_as_bad(self, mesh4_paths, mesh4_traffic):
+        train, test = mesh4_traffic.split(0.7)
+        scheme = PredictionBasedTE(mesh4_paths)
+        natural = fluctuation_experiment(scheme, test[:16], train, 4, alphas=(1.0,), seed=5)
+        worst = fluctuation_experiment(scheme, test[:16], train, 4, alphas=(1.0,), worst_case=True, seed=5)
+        # Not strictly guaranteed sample-by-sample, but the adversarial
+        # reassignment should not make things dramatically easier.
+        assert worst[1.0]["average_decline"] >= natural[1.0]["average_decline"] - 0.1
+
+    def test_drift_experiment_structure(self, mesh4_paths, mesh4_traffic):
+        def factory():
+            return DesensitizationTE(mesh4_paths)
+
+        outcome = drift_experiment(factory, mesh4_traffic, history_len=4,
+                                   segments=((0.0, 0.25), (0.5, 0.75)))
+        assert set(outcome) == {"0%-25%", "50%-75%"}
+
+    def test_failure_experiment_fault_aware_wins(self, mesh4_paths, mesh4_traffic):
+        from repro.solvers import FaultAwareDesensitizationTE
+
+        train, test = mesh4_traffic.split(0.7)
+        des = DesensitizationTE(mesh4_paths)
+        fa = FaultAwareDesensitizationTE(mesh4_paths)
+        results = failure_experiment(
+            [des, fa], test[:8], history_len=4, num_failures=1, num_trials=2, seed=0
+        )
+        assert set(results) == {"Des TE", "FA Des TE"}
+        assert results["FA Des TE"].mean() <= results["Des TE"].mean() + 0.15
+        assert (results["FA Des TE"] >= 1.0 - 1e-6).all()
+
+
+class TestTiming:
+    def test_measure_scheme_timing(self, mesh4_paths, mesh4_traffic):
+        train, test = mesh4_traffic.split(0.7)
+        timing = measure_scheme_timing(
+            PredictionBasedTE(mesh4_paths), train, test, history_len=4, max_intervals=3
+        )
+        assert timing.scheme_name == "Pred TE (last)"
+        assert timing.precompute_seconds >= 0.0
+        assert timing.mean_calculation_seconds > 0.0
+        assert timing.p95_calculation_seconds >= timing.mean_calculation_seconds * 0.5
+
+    def test_timing_requires_enough_intervals(self, mesh4_paths, mesh4_traffic):
+        with pytest.raises(ValueError):
+            measure_scheme_timing(
+                PredictionBasedTE(mesh4_paths), mesh4_traffic[:10], mesh4_traffic[:4],
+                history_len=4, max_intervals=5,
+            )
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_mlu_comparison(self, rng):
+        stats = {"X": normalized_mlu_statistics(1 + rng.random(10))}
+        text = format_mlu_comparison(stats, title="cmp")
+        assert "X" in text
+        assert "severe>2" in text
+
+    def test_format_series_downsamples(self):
+        text = format_series("s", np.arange(100, dtype=float), max_points=5)
+        assert text.startswith("s: [")
+        assert text.count(",") == 4

@@ -1,0 +1,160 @@
+"""Unit tests for the MLU LP solver and the prediction-based schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.lp import (
+    LPSolveError,
+    OmniscientTE,
+    PredictionBasedTE,
+    omniscient_mlu,
+    predict_demand,
+    solve_mlu_lp,
+)
+from repro.te.mlu import max_link_utilization
+from repro.topology import generators
+from repro.paths.ksp import build_ksp_path_set
+
+
+def _figure3_demand(a_b: float = 1.0, a_c: float = 1.0, b_c: float = 1.0) -> np.ndarray:
+    demand = np.zeros((3, 3))
+    demand[0, 1], demand[0, 2], demand[1, 2] = a_b, a_c, b_c
+    return demand
+
+
+class TestSolveMluLP:
+    def test_figure3_normal_case_optimum(self, triangle_paths):
+        dv = triangle_paths.demand_vector(_figure3_demand())
+        config, mlu = solve_mlu_lp(triangle_paths, dv)
+        assert mlu == pytest.approx(0.5, abs=1e-6)
+        # The LP's reported objective matches the evaluated configuration.
+        assert max_link_utilization(triangle_paths, config, dv) == pytest.approx(mlu, abs=1e-6)
+
+    def test_lp_never_worse_than_heuristics(self, mesh4_paths, rng):
+        from repro.te.config import TEConfiguration
+
+        demand = rng.random(mesh4_paths.num_sd_pairs) * 3.0
+        _, optimal = solve_mlu_lp(mesh4_paths, demand)
+        for heuristic in (TEConfiguration.uniform(mesh4_paths), TEConfiguration.shortest_path(mesh4_paths)):
+            assert optimal <= max_link_utilization(mesh4_paths, heuristic, demand) + 1e-9
+
+    def test_split_ratios_sum_to_one(self, mesh4_paths, rng):
+        demand = rng.random(mesh4_paths.num_sd_pairs)
+        config, _ = solve_mlu_lp(mesh4_paths, demand)
+        sums = mesh4_paths.sd_to_path @ config.split_ratios
+        np.testing.assert_allclose(sums, 1.0, atol=1e-6)
+
+    def test_zero_demand_gives_zero_mlu(self, mesh4_paths):
+        _, mlu = solve_mlu_lp(mesh4_paths, np.zeros(mesh4_paths.num_sd_pairs))
+        assert mlu == pytest.approx(0.0, abs=1e-9)
+
+    def test_mlu_scales_linearly_with_demand(self, mesh4_paths, rng):
+        demand = rng.random(mesh4_paths.num_sd_pairs)
+        _, mlu = solve_mlu_lp(mesh4_paths, demand)
+        _, double = solve_mlu_lp(mesh4_paths, demand * 2)
+        assert double == pytest.approx(2 * mlu, rel=1e-6)
+
+    def test_sensitivity_caps_respected(self, mesh4_paths, rng):
+        demand = rng.random(mesh4_paths.num_sd_pairs)
+        caps = np.full(mesh4_paths.num_paths, 0.5)
+        config, _ = solve_mlu_lp(mesh4_paths, demand, sensitivity_caps=caps)
+        assert config.split_ratios.max() <= 0.5 + 1e-6
+
+    def test_sensitivity_caps_increase_mlu(self, mesh4_paths, rng):
+        demand = rng.random(mesh4_paths.num_sd_pairs)
+        _, unconstrained = solve_mlu_lp(mesh4_paths, demand)
+        _, constrained = solve_mlu_lp(
+            mesh4_paths, demand, sensitivity_caps=np.full(mesh4_paths.num_paths, 0.4)
+        )
+        assert constrained >= unconstrained - 1e-9
+
+    def test_infeasible_caps_are_relaxed(self, mesh4_paths, rng):
+        # Caps summing to < 1 per pair would be infeasible; the solver must
+        # relax them (Appendix C.1's feasibility caveat) instead of failing.
+        demand = rng.random(mesh4_paths.num_sd_pairs)
+        caps = np.full(mesh4_paths.num_paths, 0.2)
+        config, _ = solve_mlu_lp(mesh4_paths, demand, sensitivity_caps=caps)
+        sums = mesh4_paths.sd_to_path @ config.split_ratios
+        np.testing.assert_allclose(sums, 1.0, atol=1e-6)
+
+    def test_path_mask_excludes_failed_paths(self, mesh4_paths, rng):
+        demand = rng.random(mesh4_paths.num_sd_pairs) + 0.5
+        mask = mesh4_paths.restrict_to_working_paths({(0, 1)})
+        config, _ = solve_mlu_lp(mesh4_paths, demand, path_mask=mask)
+        for p_idx, ratio in enumerate(config.split_ratios):
+            if not mask[p_idx]:
+                assert ratio <= 1e-9
+
+    def test_wrong_cap_shape_rejected(self, mesh4_paths):
+        with pytest.raises(ValueError):
+            solve_mlu_lp(mesh4_paths, np.ones(mesh4_paths.num_sd_pairs), sensitivity_caps=np.ones(3))
+
+    def test_wrong_mask_shape_rejected(self, mesh4_paths):
+        with pytest.raises(ValueError):
+            solve_mlu_lp(mesh4_paths, np.ones(mesh4_paths.num_sd_pairs), path_mask=np.ones(3, dtype=bool))
+
+
+class TestOmniscientMlu:
+    def test_positive_floor_for_zero_demand(self, triangle_paths):
+        assert omniscient_mlu(triangle_paths, np.zeros(triangle_paths.num_sd_pairs)) > 0
+
+    def test_matches_lp(self, mesh4_paths, rng):
+        demand = rng.random(mesh4_paths.num_sd_pairs)
+        _, mlu = solve_mlu_lp(mesh4_paths, demand)
+        assert omniscient_mlu(mesh4_paths, demand) == pytest.approx(mlu)
+
+
+class TestPredictDemand:
+    def test_last(self):
+        history = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(predict_demand(history, "last"), [3, 4])
+
+    def test_mean(self):
+        history = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(predict_demand(history, "mean"), [2, 3])
+
+    def test_peak(self):
+        history = np.array([[1.0, 5.0], [3.0, 4.0]])
+        np.testing.assert_allclose(predict_demand(history, "peak"), [3, 5])
+
+    def test_ewma_weights_recent_more(self):
+        history = np.array([[0.0, 0.0], [10.0, 10.0]])
+        ewma = predict_demand(history, "ewma")
+        assert (ewma > 5.0).all()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            predict_demand(np.ones((2, 2)), "magic")
+
+    def test_invalid_history(self):
+        with pytest.raises(ValueError):
+            predict_demand(np.ones(3), "last")
+
+
+class TestSchemes:
+    def test_omniscient_scheme_achieves_optimal(self, mesh4_paths, rng):
+        scheme = OmniscientTE(mesh4_paths)
+        demand = rng.random(mesh4_paths.num_sd_pairs)
+        config = scheme.configure(demand[None, :])
+        achieved = max_link_utilization(mesh4_paths, config, demand)
+        assert achieved == pytest.approx(omniscient_mlu(mesh4_paths, demand), rel=1e-6)
+
+    def test_prediction_scheme_optimal_under_stable_traffic(self, mesh4_paths, rng):
+        scheme = PredictionBasedTE(mesh4_paths)
+        demand = rng.random(mesh4_paths.num_sd_pairs) + 1.0
+        history = np.tile(demand, (4, 1))
+        config = scheme.configure(history)
+        achieved = max_link_utilization(mesh4_paths, config, demand)
+        assert achieved == pytest.approx(omniscient_mlu(mesh4_paths, demand), rel=1e-5)
+
+    def test_prediction_scheme_hurt_by_burst(self, mesh4_paths, rng):
+        scheme = PredictionBasedTE(mesh4_paths)
+        demand = rng.random(mesh4_paths.num_sd_pairs) + 0.5
+        history = np.tile(demand, (4, 1))
+        config = scheme.configure(history)
+        burst = demand.copy()
+        burst[0] *= 10.0
+        achieved = max_link_utilization(mesh4_paths, config, burst)
+        assert achieved > omniscient_mlu(mesh4_paths, burst) * 1.05

@@ -1,0 +1,118 @@
+"""Unit tests for demand-oblivious TE and COPE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.paths.ksp import build_ksp_path_set
+from repro.solvers.cope import CopeTE, solve_cope
+from repro.solvers.lp import LPSolveError, omniscient_mlu
+from repro.solvers.oblivious import (
+    MAX_PRACTICAL_VARIABLES,
+    ObliviousTE,
+    oblivious_problem_size,
+    solve_oblivious_routing,
+)
+from repro.te.mlu import max_link_utilization
+from repro.topology import generators
+from repro.traffic.bursty import DataCenterTrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def small_mesh_paths():
+    topo = generators.fully_connected(4, capacity=10.0)
+    return build_ksp_path_set(topo, k=3)
+
+
+class TestObliviousRouting:
+    def test_oblivious_ratio_at_least_one(self, small_mesh_paths):
+        _, ratio = solve_oblivious_routing(small_mesh_paths)
+        assert ratio >= 1.0 - 1e-6
+
+    def test_configuration_is_valid(self, small_mesh_paths):
+        config, _ = solve_oblivious_routing(small_mesh_paths)
+        sums = small_mesh_paths.sd_to_path @ config.split_ratios
+        np.testing.assert_allclose(sums, 1.0, atol=1e-6)
+
+    def test_guarantee_holds_on_random_demands(self, small_mesh_paths, rng):
+        """The normalised MLU of the oblivious routing never exceeds its ratio."""
+        config, ratio = solve_oblivious_routing(small_mesh_paths)
+        for _ in range(5):
+            demand = rng.random(small_mesh_paths.num_sd_pairs) * 5.0
+            normalized = max_link_utilization(small_mesh_paths, config, demand) / omniscient_mlu(
+                small_mesh_paths, demand
+            )
+            assert normalized <= ratio + 1e-4
+
+    def test_triangle_ratio_matches_hand_analysis(self):
+        topo = generators.triangle(capacity=1.0)
+        single = build_ksp_path_set(topo, k=1)
+        _, ratio_single = solve_oblivious_routing(single)
+        # With only the direct path available per pair, the worst case is a
+        # demand on a single pair: we load its link fully while the optimum
+        # splits the demand over the direct and the 2-hop path, halving the
+        # MLU -- so the restricted oblivious ratio is exactly 2.
+        assert ratio_single == pytest.approx(2.0, abs=1e-6)
+        # Giving the routing the 2-hop detours as well strictly improves it.
+        double = build_ksp_path_set(topo, k=2)
+        _, ratio_double = solve_oblivious_routing(double)
+        assert ratio_double < ratio_single - 0.2
+
+    def test_problem_size_guard(self, small_mesh_paths):
+        size = oblivious_problem_size(small_mesh_paths)
+        assert size < MAX_PRACTICAL_VARIABLES
+        topo = generators.random_regular(40, 6, seed=0)
+        big = build_ksp_path_set(topo, k=3)
+        assert oblivious_problem_size(big) > oblivious_problem_size(small_mesh_paths)
+
+    def test_scheme_precompute_and_reuse(self, small_mesh_paths, rng):
+        scheme = ObliviousTE(small_mesh_paths)
+        traffic = DataCenterTrafficGenerator(small_mesh_paths.topology, level="pod", seed=0).generate(20)
+        scheme.precompute(traffic)
+        history = rng.random((3, small_mesh_paths.num_sd_pairs))
+        a = scheme.configure(history)
+        b = scheme.configure(history * 10)
+        np.testing.assert_allclose(a.split_ratios, b.split_ratios)  # demand-oblivious
+
+
+class TestCope:
+    def test_cope_beats_oblivious_on_predicted_demands(self, small_mesh_paths, rng):
+        oblivious_config, ratio = solve_oblivious_routing(small_mesh_paths)
+        predicted = rng.random((4, small_mesh_paths.num_sd_pairs)) + 0.5
+        cope_config, cope_obj = solve_cope(small_mesh_paths, predicted, penalty_envelope=2 * ratio)
+        worst_cope, worst_obl = 0.0, 0.0
+        for demand in predicted:
+            opt = omniscient_mlu(small_mesh_paths, demand)
+            worst_cope = max(worst_cope, max_link_utilization(small_mesh_paths, cope_config, demand) / opt)
+            worst_obl = max(worst_obl, max_link_utilization(small_mesh_paths, oblivious_config, demand) / opt)
+        assert worst_cope <= worst_obl + 1e-6
+        assert cope_obj == pytest.approx(worst_cope, rel=1e-4, abs=1e-6)
+
+    def test_too_tight_penalty_envelope_is_infeasible(self, small_mesh_paths, rng):
+        predicted = rng.random((2, small_mesh_paths.num_sd_pairs)) + 0.5
+        with pytest.raises(LPSolveError):
+            solve_cope(small_mesh_paths, predicted, penalty_envelope=0.5)
+
+    def test_input_validation(self, small_mesh_paths):
+        with pytest.raises(ValueError):
+            solve_cope(small_mesh_paths, np.ones((2, 3)), penalty_envelope=2.0)
+        with pytest.raises(ValueError):
+            solve_cope(small_mesh_paths, np.ones((2, small_mesh_paths.num_sd_pairs)), penalty_envelope=0.0)
+
+    def test_cope_scheme_lifecycle(self, small_mesh_paths):
+        traffic = DataCenterTrafficGenerator(small_mesh_paths.topology, level="pod", seed=1).generate(30)
+        scheme = CopeTE(small_mesh_paths, prediction_set_size=3)
+        with pytest.raises(RuntimeError):
+            scheme.configure(traffic.flat_demands()[:3])
+        scheme.precompute(traffic)
+        assert scheme.penalty_envelope is not None
+        config = scheme.configure(traffic.flat_demands()[:3])
+        sums = small_mesh_paths.sd_to_path @ config.split_ratios
+        np.testing.assert_allclose(sums, 1.0, atol=1e-6)
+
+    def test_cope_parameter_validation(self, small_mesh_paths):
+        with pytest.raises(ValueError):
+            CopeTE(small_mesh_paths, prediction_set_size=0)
+        with pytest.raises(ValueError):
+            CopeTE(small_mesh_paths, penalty_envelope_factor=0.5)

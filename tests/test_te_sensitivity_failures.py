@@ -1,0 +1,111 @@
+"""Unit tests for path sensitivity and link-failure rerouting (repro.te)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.te.config import TEConfiguration
+from repro.te.failures import reroute_around_failures, sample_failed_links
+from repro.te.sensitivity import (
+    max_sensitivity_per_pair,
+    normalized_path_capacities,
+    path_sensitivities,
+)
+
+
+class TestSensitivity:
+    def test_sensitivity_definition(self, triangle_paths):
+        config = TEConfiguration.uniform(triangle_paths)
+        sens = path_sensitivities(triangle_paths, config)
+        np.testing.assert_allclose(sens, config.split_ratios / triangle_paths.path_capacities)
+
+    def test_normalized_capacities_min_is_one(self, mesh4_paths):
+        caps = normalized_path_capacities(mesh4_paths)
+        assert caps.min() == pytest.approx(1.0)
+
+    def test_normalized_sensitivity_of_full_allocation_is_one(self, mesh4_paths):
+        config = TEConfiguration.shortest_path(mesh4_paths)
+        sens = path_sensitivities(mesh4_paths, config, normalized=True)
+        # Direct paths carry ratio 1 over normalised capacity 1.
+        assert sens.max() == pytest.approx(1.0)
+
+    def test_max_sensitivity_per_pair_shape_and_value(self, mesh4_paths):
+        config = TEConfiguration.uniform(mesh4_paths)
+        smax = max_sensitivity_per_pair(mesh4_paths, config)
+        assert smax.shape == (mesh4_paths.num_sd_pairs,)
+        sens = path_sensitivities(mesh4_paths, config)
+        for pair_idx, (s, d) in enumerate(mesh4_paths.sd_pairs):
+            indices = list(mesh4_paths.path_indices_for(s, d))
+            assert smax[pair_idx] == pytest.approx(sens[indices].max())
+
+    def test_hedging_reduces_max_sensitivity(self, mesh4_paths):
+        shortest = TEConfiguration.shortest_path(mesh4_paths)
+        uniform = TEConfiguration.uniform(mesh4_paths)
+        assert (
+            max_sensitivity_per_pair(mesh4_paths, uniform).max()
+            < max_sensitivity_per_pair(mesh4_paths, shortest).max()
+        )
+
+
+class TestFailureRerouting:
+    def test_proportional_redistribution(self, mesh4_paths):
+        # Paper example: ratios (0.5, 0.3, 0.2); first path fails -> (0, 0.6, 0.4).
+        ratios = np.zeros(mesh4_paths.num_paths)
+        for s, d in mesh4_paths.topology.sd_pairs():
+            idx = mesh4_paths.path_indices_for(s, d)
+            ratios[idx[0]], ratios[idx[1]], ratios[idx[2]] = 0.5, 0.3, 0.2
+        config = TEConfiguration(mesh4_paths, ratios, normalize=False)
+        # Fail the direct link 0->1 (the first candidate path of pair (0, 1)).
+        rerouted = reroute_around_failures(config, {(0, 1)})
+        new = rerouted.ratios_for(0, 1)
+        np.testing.assert_allclose(new, [0.0, 0.6, 0.4])
+
+    def test_uniform_redistribution_when_survivors_had_zero(self, mesh4_paths):
+        # Paper example: ratios (1, 0, 0); first path fails -> (0, 0.5, 0.5).
+        config = TEConfiguration.shortest_path(mesh4_paths)
+        rerouted = reroute_around_failures(config, {(0, 1)})
+        np.testing.assert_allclose(rerouted.ratios_for(0, 1), [0.0, 0.5, 0.5])
+
+    def test_unaffected_pairs_unchanged(self, mesh4_paths):
+        config = TEConfiguration.uniform(mesh4_paths)
+        rerouted = reroute_around_failures(config, {(0, 1)})
+        np.testing.assert_allclose(rerouted.ratios_for(2, 3), config.ratios_for(2, 3))
+
+    def test_result_remains_valid_distribution(self, mesh4_paths):
+        config = TEConfiguration.uniform(mesh4_paths)
+        rerouted = reroute_around_failures(config, {(0, 1), (1, 0), (2, 3)})
+        sums = mesh4_paths.sd_to_path @ rerouted.split_ratios
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_all_paths_failed_keeps_uniform(self, triangle_paths):
+        config = TEConfiguration.shortest_path(triangle_paths)
+        # Kill both candidate paths of pair (0, 1): direct edge and via node 2.
+        rerouted = reroute_around_failures(config, {(0, 1), (2, 1)})
+        np.testing.assert_allclose(rerouted.ratios_for(0, 1), [0.5, 0.5])
+
+    def test_no_failures_is_identity(self, mesh4_paths):
+        config = TEConfiguration.uniform(mesh4_paths)
+        rerouted = reroute_around_failures(config, set())
+        np.testing.assert_allclose(rerouted.split_ratios, config.split_ratios)
+
+
+class TestSampleFailedLinks:
+    def test_bidirectional_sampling(self, mesh4_topology, rng):
+        failed = sample_failed_links(mesh4_topology, 2, rng)
+        assert len(failed) == 4  # two physical links, both directions
+        for a, b in failed:
+            assert (b, a) in failed
+
+    def test_unidirectional_sampling(self, mesh4_topology, rng):
+        failed = sample_failed_links(mesh4_topology, 3, rng, bidirectional=False)
+        assert len(failed) == 3
+
+    def test_too_many_failures_rejected(self, triangle_topology, rng):
+        with pytest.raises(ValueError):
+            sample_failed_links(triangle_topology, 100, rng)
+
+    def test_failed_edges_exist_in_topology(self, mesh4_topology, rng):
+        failed = sample_failed_links(mesh4_topology, 2, rng)
+        for a, b in failed:
+            assert mesh4_topology.has_edge(a, b)

@@ -1,0 +1,170 @@
+"""Unit tests for the traffic generators (gravity, WAN, data center, pFabric)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology import generators, zoo
+from repro.traffic.bursty import (
+    DataCenterTrafficGenerator,
+    DataCenterTrafficProfile,
+    POD_PROFILE,
+    TOR_PROFILE,
+)
+from repro.traffic.gravity import GravityTrafficGenerator, gravity_matrix, node_weights_from_capacity
+from repro.traffic.pfabric import PFabricTrafficGenerator, WEB_SEARCH_FLOW_SIZE_CDF, sample_flow_sizes
+from repro.traffic.stats import burstiness_summary
+from repro.traffic.wan import GeantLikeGenerator
+
+
+class TestGravity:
+    def test_node_weights_normalised(self, mesh4_topology):
+        weights = node_weights_from_capacity(mesh4_topology)
+        assert weights.shape == (4,)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_gravity_matrix_total(self, mesh4_topology):
+        tm = gravity_matrix(mesh4_topology, total_demand=100.0)
+        assert tm.total() == pytest.approx(100.0)
+
+    def test_gravity_matrix_proportionality(self):
+        topo = generators.star(3, capacity=1.0)
+        weights = np.array([4.0, 2.0, 1.0, 1.0])
+        tm = gravity_matrix(topo, total_demand=1.0, weights=weights)
+        # Demand (1, 2) / demand (2, 3) should equal (w1*w2)/(w2*w3) = 2.
+        assert tm.demand(1, 2) / tm.demand(2, 3) == pytest.approx(2.0)
+
+    def test_generator_is_stable(self, mesh4_topology):
+        seq = GravityTrafficGenerator(mesh4_topology, noise_level=0.02, seed=0).generate(60)
+        summary = burstiness_summary(seq, history=10)
+        assert summary["p05"] > 0.98  # gravity traffic should be near-identical over time
+
+    def test_generator_deterministic(self, mesh4_topology):
+        a = GravityTrafficGenerator(mesh4_topology, seed=3).generate(5).flat_demands()
+        b = GravityTrafficGenerator(mesh4_topology, seed=3).generate(5).flat_demands()
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_parameters(self, mesh4_topology):
+        with pytest.raises(ValueError):
+            GravityTrafficGenerator(mesh4_topology, mean_utilization=0.0)
+        with pytest.raises(ValueError):
+            GravityTrafficGenerator(mesh4_topology).generate(0)
+
+
+class TestGeantLikeGenerator:
+    def test_shapes_and_positivity(self):
+        topo = zoo.geant()
+        seq = GeantLikeGenerator(topo, seed=1).generate(50)
+        assert len(seq) == 50
+        assert seq.num_nodes == 23
+        assert (seq.flat_demands() >= 0).all()
+
+    def test_mostly_stable_with_bursts(self):
+        topo = zoo.geant()
+        seq = GeantLikeGenerator(topo, seed=1, burst_probability=0.05).generate(120)
+        summary = burstiness_summary(seq, history=12)
+        assert summary["p50"] > 0.9  # most intervals resemble recent history
+
+    def test_diurnal_seasonality_present(self):
+        topo = zoo.geant()
+        gen = GeantLikeGenerator(topo, seed=2, burst_probability=0.0, noise_level=0.0,
+                                 intervals_per_day=24)
+        seq = gen.generate(48)
+        totals = seq.flat_demands().sum(axis=1)
+        # With pure seasonality the total demand varies substantially.
+        assert totals.max() / totals.min() > 1.5
+        # And the two simulated days follow the same diurnal shape (the small
+        # weekly modulation keeps them from being exactly equal).
+        correlation = np.corrcoef(totals[:24], totals[24:])[0, 1]
+        assert correlation > 0.99
+
+
+class TestDataCenterGenerator:
+    def test_tor_is_burstier_than_pod(self):
+        topo = generators.fully_connected(6, capacity=10.0)
+        pod = DataCenterTrafficGenerator(topo, level="pod", seed=4).generate(150)
+        tor = DataCenterTrafficGenerator(topo, level="tor", seed=4).generate(150)
+        pod_summary = burstiness_summary(pod, history=12)
+        tor_summary = burstiness_summary(tor, history=12)
+        assert tor_summary["p50"] < pod_summary["p50"]
+
+    def test_pair_variance_is_heterogeneous(self, mesh4_topology):
+        seq = DataCenterTrafficGenerator(mesh4_topology, level="pod", seed=5).generate(200)
+        variance = seq.pair_variance()
+        assert variance.max() > 5 * np.median(variance)
+
+    def test_unknown_level_rejected(self, mesh4_topology):
+        with pytest.raises(ValueError, match="unknown traffic level"):
+            DataCenterTrafficGenerator(mesh4_topology, level="rack")
+
+    def test_custom_profile(self, mesh4_topology):
+        quiet = DataCenterTrafficProfile(
+            sparsity=0.0,
+            base_sigma=0.1,
+            ar_coefficient=0.9,
+            noise_sigma=0.01,
+            burst_rate_range=(0.0, 0.0),
+            burst_magnitude=1.0,
+            burst_tail_index=2.0,
+            bursty_pair_concentration=1.0,
+        )
+        seq = DataCenterTrafficGenerator(mesh4_topology, profile=quiet, seed=1).generate(80)
+        assert burstiness_summary(seq, history=10)["p05"] > 0.95
+
+    def test_default_interval_seconds(self, mesh4_topology):
+        pod = DataCenterTrafficGenerator(mesh4_topology, level="pod", seed=1).generate(5)
+        tor = DataCenterTrafficGenerator(mesh4_topology, level="tor", seed=1).generate(5)
+        assert pod.interval_seconds == 1.0
+        assert tor.interval_seconds == 10.0
+
+    def test_deterministic_for_seed(self, mesh4_topology):
+        a = DataCenterTrafficGenerator(mesh4_topology, level="tor", seed=9).generate(10)
+        b = DataCenterTrafficGenerator(mesh4_topology, level="tor", seed=9).generate(10)
+        np.testing.assert_allclose(a.flat_demands(), b.flat_demands())
+
+    def test_profiles_exported(self):
+        assert TOR_PROFILE.sparsity > POD_PROFILE.sparsity
+        assert TOR_PROFILE.burst_rate_range[1] > POD_PROFILE.burst_rate_range[1]
+
+
+class TestPFabricGenerator:
+    def test_flow_size_distribution_monotone_cdf(self):
+        probs = [p for _, p in WEB_SEARCH_FLOW_SIZE_CDF]
+        assert probs == sorted(probs)
+        assert probs[-1] == 1.0
+
+    def test_sample_flow_sizes_range(self, rng):
+        sizes = sample_flow_sizes(rng, 1000)
+        assert sizes.min() >= 0
+        assert sizes.max() <= WEB_SEARCH_FLOW_SIZE_CDF[-1][0]
+        # Heavy tail: mean far above median.
+        assert sizes.mean() > 2 * np.median(sizes)
+
+    def test_generated_matrices(self):
+        topo = generators.leaf_spine_direct_connect(9, capacity=10.0)
+        seq = PFabricTrafficGenerator(topo, flows_per_interval=200, seed=0).generate(30)
+        assert len(seq) == 30
+        flat = seq.flat_demands()
+        assert (flat >= 0).all()
+        assert flat.sum() > 0
+
+    def test_utilization_rescaling(self):
+        topo = generators.leaf_spine_direct_connect(6, capacity=10.0)
+        seq = PFabricTrafficGenerator(topo, mean_utilization=0.3, seed=1).generate(40)
+        target_total = 0.3 * topo.total_capacity() / 4.0
+        assert seq.flat_demands().sum(axis=1).mean() == pytest.approx(target_total, rel=1e-6)
+
+    def test_invalid_rate_rejected(self):
+        topo = generators.leaf_spine_direct_connect(6)
+        with pytest.raises(ValueError):
+            PFabricTrafficGenerator(topo, flows_per_interval=0)
+
+    def test_uniform_source_destination_selection(self):
+        topo = generators.leaf_spine_direct_connect(9, capacity=10.0)
+        seq = PFabricTrafficGenerator(topo, flows_per_interval=500, mean_utilization=None, seed=2).generate(50)
+        totals = seq.as_array().sum(axis=0)
+        np.fill_diagonal(totals, np.nan)
+        values = totals[~np.isnan(totals)]
+        # No pair should dominate: spread within an order of magnitude.
+        assert values.max() / max(values.min(), 1e-9) < 10

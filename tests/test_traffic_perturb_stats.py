@@ -1,0 +1,157 @@
+"""Unit tests for traffic perturbations and statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSequence
+from repro.traffic.perturb import (
+    gaussian_fluctuation,
+    reverse_rank_fluctuation,
+    variance_rank_spearman,
+)
+from repro.traffic.stats import (
+    burstiness_summary,
+    cosine_similarity_profile,
+    normalized_variance_matrix,
+    variance_matrix,
+)
+
+
+@pytest.fixture()
+def bursty_sequence(rng):
+    """A 4-node sequence where pair (0, 1) is very bursty and (2, 3) is constant."""
+    matrices = []
+    for t in range(40):
+        m = np.zeros((4, 4))
+        m[0, 1] = 1.0 + (10.0 if t % 7 == 0 else 0.0) + rng.normal(0, 0.3)
+        m[1, 2] = 3.0 + rng.normal(0, 0.5)
+        m[2, 3] = 2.0
+        m[3, 0] = 1.0 + rng.normal(0, 0.1)
+        matrices.append(TrafficMatrix(np.clip(m, 0, None)))
+    return TrafficMatrixSequence(matrices)
+
+
+class TestStats:
+    def test_variance_matrix_identifies_bursty_pair(self, bursty_sequence):
+        var = variance_matrix(bursty_sequence)
+        assert var.shape == (4, 4)
+        assert var[0, 1] == var.max()
+        assert var[2, 3] == pytest.approx(0.0)
+
+    def test_normalized_variance_in_unit_range(self, bursty_sequence):
+        norm = normalized_variance_matrix(bursty_sequence)
+        assert norm.max() == pytest.approx(1.0)
+        assert norm.min() >= 0.0
+
+    def test_normalized_variance_of_constant_traffic(self):
+        seq = TrafficMatrixSequence(np.ones((5, 3, 3)))
+        norm = normalized_variance_matrix(seq)
+        np.testing.assert_allclose(norm, 0.0)
+
+    def test_cosine_similarity_profile_length(self, bursty_sequence):
+        profile = cosine_similarity_profile(bursty_sequence, history=12)
+        assert len(profile) == len(bursty_sequence) - 12
+        assert ((profile >= -1e-9) & (profile <= 1 + 1e-9)).all()
+
+    def test_identical_traffic_has_similarity_one(self):
+        seq = TrafficMatrixSequence(np.ones((20, 3, 3)))
+        profile = cosine_similarity_profile(seq, history=5)
+        np.testing.assert_allclose(profile, 1.0)
+
+    def test_history_must_be_positive(self, bursty_sequence):
+        with pytest.raises(ValueError):
+            cosine_similarity_profile(bursty_sequence, history=0)
+
+    def test_burstiness_summary_keys_and_ordering(self, bursty_sequence):
+        summary = burstiness_summary(bursty_sequence, history=10)
+        assert set(summary) == {"p05", "p25", "p50", "p75", "p95", "mean"}
+        assert summary["p05"] <= summary["p50"] <= summary["p95"]
+
+    def test_burstiness_summary_too_short_sequence(self):
+        seq = TrafficMatrixSequence(np.ones((3, 3, 3)))
+        with pytest.raises(ValueError):
+            burstiness_summary(seq, history=10)
+
+    def test_larger_window_does_not_reduce_similarity(self, bursty_sequence):
+        """Figure 18's point: enlarging H barely changes the profile."""
+        short = cosine_similarity_profile(bursty_sequence, history=6)
+        long = cosine_similarity_profile(bursty_sequence, history=24)
+        assert np.median(long) >= np.median(short) - 1e-9
+
+
+class TestPerturbations:
+    def test_gaussian_fluctuation_zero_alpha_is_identity(self, bursty_sequence):
+        std = bursty_sequence.pair_std()
+        perturbed = gaussian_fluctuation(bursty_sequence, 0.0, std, seed=1)
+        np.testing.assert_allclose(perturbed.flat_demands(), bursty_sequence.flat_demands())
+
+    def test_gaussian_fluctuation_scales_with_alpha(self, bursty_sequence):
+        std = bursty_sequence.pair_std()
+        small = gaussian_fluctuation(bursty_sequence, 0.2, std, seed=2)
+        large = gaussian_fluctuation(bursty_sequence, 2.0, std, seed=2)
+        base = bursty_sequence.flat_demands()
+        small_dev = np.abs(small.flat_demands() - base).mean()
+        large_dev = np.abs(large.flat_demands() - base).mean()
+        assert large_dev > small_dev
+
+    def test_gaussian_fluctuation_non_negative(self, bursty_sequence):
+        std = bursty_sequence.pair_std()
+        perturbed = gaussian_fluctuation(bursty_sequence, 2.0, std, seed=3)
+        assert (perturbed.flat_demands() >= 0).all()
+
+    def test_constant_pairs_untouched(self, bursty_sequence):
+        std = bursty_sequence.pair_std()
+        perturbed = gaussian_fluctuation(bursty_sequence, 1.0, std, seed=4)
+        pair_index = 8  # (2, 3) in row-major SD order for 4 nodes: index of (2,3)
+        # Compute the index properly instead of hard-coding.
+        pairs = [(s, d) for s in range(4) for d in range(4) if s != d]
+        pair_index = pairs.index((2, 3))
+        np.testing.assert_allclose(
+            perturbed.flat_demands()[:, pair_index],
+            bursty_sequence.flat_demands()[:, pair_index],
+        )
+
+    def test_negative_alpha_rejected(self, bursty_sequence):
+        with pytest.raises(ValueError):
+            gaussian_fluctuation(bursty_sequence, -1.0, bursty_sequence.pair_std())
+
+    def test_wrong_std_shape_rejected(self, bursty_sequence):
+        with pytest.raises(ValueError):
+            gaussian_fluctuation(bursty_sequence, 1.0, np.ones(3))
+
+    def test_reverse_rank_targets_stable_pairs(self, rng):
+        # Build a 3-node sequence whose six pairs have distinct, positive
+        # standard deviations so the variance ranking is unambiguous.
+        stds = np.array([0.1, 0.4, 0.8, 1.5, 2.5, 4.0])
+        base_flat = np.full(6, 50.0)
+        flats = base_flat + rng.normal(0.0, stds, size=(60, 6))
+        matrices = []
+        for row in np.clip(flats, 0, None):
+            m = np.zeros((3, 3))
+            m[~np.eye(3, dtype=bool)] = row
+            matrices.append(TrafficMatrix(m))
+        sequence = TrafficMatrixSequence(matrices)
+        std = sequence.pair_std()
+        stable_idx = int(np.argmin(std))
+        bursty_idx = int(np.argmax(std))
+
+        worst = reverse_rank_fluctuation(sequence, 1.0, std, seed=5)
+        deviations = np.abs(worst.flat_demands() - sequence.flat_demands()).mean(axis=0)
+        # The historically most stable pair now receives the largest
+        # fluctuation, and the most bursty one the smallest.
+        assert deviations[stable_idx] == deviations.max()
+        assert deviations[bursty_idx] == deviations.min()
+
+    def test_spearman_of_identical_rankings_is_one(self, rng):
+        variance = rng.random(20)
+        assert variance_rank_spearman(variance, variance) == pytest.approx(1.0)
+
+    def test_spearman_of_reversed_rankings_is_minus_one(self):
+        variance = np.arange(10, dtype=float)
+        assert variance_rank_spearman(variance, variance[::-1]) == pytest.approx(-1.0)
+
+    def test_spearman_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            variance_rank_spearman(np.ones(3), np.ones(4))
