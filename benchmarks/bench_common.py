@@ -39,7 +39,6 @@ MAX_EVAL_INTERVALS = 40
 
 _scenarios: dict[str, datasets.Scenario] = {}
 _schemes: dict[tuple, object] = {}
-_optimal_cache: dict[tuple, np.ndarray] = {}
 
 
 def get_scenario(name: str) -> datasets.Scenario:
@@ -108,12 +107,15 @@ def test_slice(scenario: datasets.Scenario, max_intervals: int = MAX_EVAL_INTERV
 
 
 def optimal_mlus(scenario: datasets.Scenario, max_intervals: int = MAX_EVAL_INTERVALS) -> np.ndarray:
-    """Cached omniscient MLUs over the evaluation slice of a scenario."""
-    key = (scenario.name, max_intervals)
-    if key not in _optimal_cache:
-        sliced = test_slice(scenario, max_intervals)
-        _optimal_cache[key] = compute_optimal_mlus(scenario.paths, sliced.flat_demands())
-    return _optimal_cache[key]
+    """Omniscient MLUs over the evaluation slice of a scenario.
+
+    Memoisation now lives in the evaluation engine's shared
+    :class:`~repro.solvers.lp.OptimalMLUCache` (keyed per demand matrix), so
+    repeated calls -- and every other experiment touching the same demands --
+    are cache hits.
+    """
+    sliced = test_slice(scenario, max_intervals)
+    return compute_optimal_mlus(scenario.paths, sliced.flat_demands())
 
 
 def evaluate_on_scenario(scheme, scenario: datasets.Scenario, max_intervals: int = MAX_EVAL_INTERVALS):

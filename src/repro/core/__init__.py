@@ -7,6 +7,13 @@ from repro.core.trainer import Trainer, TrainingHistory
 from repro.core.figret import Figret
 from repro.core.dote import Dote
 from repro.core.teal_like import TealLike
+from repro.core.retraining import (
+    PerformanceDegradationDetector,
+    RetrainingDecision,
+    RetrainingPolicy,
+    RetrainingScheme,
+    TrafficDriftDetector,
+)
 
 __all__ = [
     "TrainingConfig",
@@ -17,4 +24,9 @@ __all__ = [
     "Figret",
     "Dote",
     "TealLike",
+    "TrafficDriftDetector",
+    "PerformanceDegradationDetector",
+    "RetrainingPolicy",
+    "RetrainingDecision",
+    "RetrainingScheme",
 ]

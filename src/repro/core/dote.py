@@ -10,19 +10,15 @@ exactly.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.config import TrainingConfig
-from repro.core.trainer import Trainer, TrainingHistory
+from repro.core.trainer import Trainer, TrainerBackedScheme, TrainingHistory
 from repro.paths.path_set import PathSet
-from repro.te.config import TEConfiguration
-from repro.te.scheme import TEScheme
 from repro.traffic.matrix import TrafficMatrixSequence
 
 __all__ = ["Dote"]
 
 
-class Dote(TEScheme):
+class Dote(TrainerBackedScheme):
     """Deep-learning TE trained on MLU only (no robustness term).
 
     Args:
@@ -35,27 +31,10 @@ class Dote(TEScheme):
         super().__init__(path_set, name="DOTE")
         base = config or TrainingConfig()
         self.config = base.replace(robustness_weight=0.0)
-        self._trainer: Trainer | None = None
         self.training_history: TrainingHistory | None = None
-
-    @property
-    def history_len(self) -> int:
-        """Length of the demand history window the scheme expects."""
-        return self.config.history_len
 
     def precompute(self, train_sequence: TrafficMatrixSequence) -> None:
         """Train the network on the training portion of the trace."""
         self._trainer = Trainer(self.path_set, self.config, pair_variance=None)
         self.training_history = self._trainer.fit(train_sequence)
 
-    def configure(self, history: np.ndarray) -> TEConfiguration:
-        if self._trainer is None:
-            raise RuntimeError("Dote.configure called before precompute()")
-        history = np.asarray(history, dtype=float)
-        window = history[-self.config.history_len :]
-        if window.shape[0] < self.config.history_len:
-            # Left-pad by repeating the oldest row so early test intervals work.
-            pad = np.repeat(window[:1], self.config.history_len - window.shape[0], axis=0)
-            window = np.vstack([pad, window])
-        ratios = self._trainer.split_ratios(window)
-        return TEConfiguration(self.path_set, ratios, normalize=True)

@@ -16,16 +16,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import TrainingConfig
-from repro.core.trainer import Trainer, TrainingHistory
+from repro.core.trainer import Trainer, TrainerBackedScheme, TrainingHistory
 from repro.paths.path_set import PathSet
-from repro.te.config import TEConfiguration
-from repro.te.scheme import TEScheme
 from repro.traffic.matrix import TrafficMatrixSequence
 
 __all__ = ["Figret"]
 
 
-class Figret(TEScheme):
+class Figret(TrainerBackedScheme):
     """The FIGRET TE scheme.
 
     Args:
@@ -42,14 +40,8 @@ class Figret(TEScheme):
     def __init__(self, path_set: PathSet, config: TrainingConfig | None = None) -> None:
         super().__init__(path_set, name="FIGRET")
         self.config = config or TrainingConfig()
-        self._trainer: Trainer | None = None
         self.training_history: TrainingHistory | None = None
         self.pair_variance: np.ndarray | None = None
-
-    @property
-    def history_len(self) -> int:
-        """Length of the demand history window the scheme expects."""
-        return self.config.history_len
 
     def precompute(self, train_sequence: TrafficMatrixSequence) -> None:
         """Measure per-pair variance and train the network."""
@@ -59,13 +51,3 @@ class Figret(TEScheme):
         )
         self.training_history = self._trainer.fit(train_sequence)
 
-    def configure(self, history: np.ndarray) -> TEConfiguration:
-        if self._trainer is None:
-            raise RuntimeError("Figret.configure called before precompute()")
-        history = np.asarray(history, dtype=float)
-        window = history[-self.config.history_len :]
-        if window.shape[0] < self.config.history_len:
-            pad = np.repeat(window[:1], self.config.history_len - window.shape[0], axis=0)
-            window = np.vstack([pad, window])
-        ratios = self._trainer.split_ratios(window)
-        return TEConfiguration(self.path_set, ratios, normalize=True)

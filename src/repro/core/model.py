@@ -76,3 +76,39 @@ class FigretNet(Module):
         np.add.at(sums, self.path_set.path_sd_index, raw)
         sums = np.maximum(sums, 1e-12)
         return raw / sums[self.path_set.path_sd_index]
+
+    def split_ratios_batch(self, windows: np.ndarray, input_scale: float = 1.0) -> np.ndarray:
+        """Normalised split ratios for a batch of windows in one forward pass.
+
+        Args:
+            windows: Array of shape ``(T, H, num_sd_pairs)`` or already
+                flattened ``(T, H * num_sd_pairs)``.
+            input_scale: Divisor applied to the inputs (the trainer scales
+                inputs by the mean training demand).
+
+        Returns:
+            Split ratios of shape ``(T, num_paths)``; every SD pair's ratios
+            sum to one within each row.
+        """
+        arr = np.asarray(windows, dtype=float)
+        if arr.ndim == 3:
+            arr = arr.reshape(arr.shape[0], -1)
+        if arr.ndim != 2 or arr.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected windows with {self.input_dim} entries each, got shape {arr.shape}"
+            )
+        raw = self.forward(Tensor(arr / input_scale)).numpy()
+        # Per-SD-pair sums for every row via the sparse incidence matrix.
+        sums = (self.path_set.sd_to_path @ raw.T).T
+        # Pairs whose scores underflowed to (effectively) zero fall back to a
+        # uniform split, mirroring TEConfiguration's zero-sum handling on the
+        # per-window path; live pairs divide by their true sum so every row
+        # is a valid per-pair distribution.
+        dead = sums <= 1e-18
+        denominator = np.where(dead, 1.0, sums)
+        ratios = raw / denominator[:, self.path_set.path_sd_index]
+        if dead.any():
+            counts = np.asarray(self.path_set.sd_to_path.sum(axis=1)).ravel()
+            uniform = 1.0 / counts[self.path_set.path_sd_index]
+            ratios = np.where(dead[:, self.path_set.path_sd_index], uniform, ratios)
+        return ratios

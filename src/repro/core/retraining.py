@@ -15,6 +15,9 @@ deployment can retrain only when it matters:
   and signals when its rolling average exceeds the training-time baseline by
   a configurable margin.
 * :class:`RetrainingPolicy` combines both with a periodic fallback.
+* :class:`RetrainingScheme` wraps any trainable scheme with a policy so a
+  deployment (or the evaluation engine) can replay it like a normal scheme
+  while retraining happens behind the interface.
 """
 
 from __future__ import annotations
@@ -25,6 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats as scipy_stats
 
+from repro.te.config import TEConfiguration
+from repro.te.scheme import TEScheme
 from repro.traffic.matrix import TrafficMatrixSequence
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "PerformanceDegradationDetector",
     "RetrainingPolicy",
     "RetrainingDecision",
+    "RetrainingScheme",
 ]
 
 
@@ -73,6 +79,15 @@ class TrafficDriftDetector:
         if drift_threshold <= 0:
             raise ValueError("drift_threshold must be positive")
         self.drift_threshold = drift_threshold
+        self.rebaseline(train_sequence)
+
+    def rebaseline(self, train_sequence: TrafficMatrixSequence) -> None:
+        """Adopt a new training period as the reference statistics.
+
+        Must be called after the model is retrained; otherwise drift keeps
+        being measured against the original (now obsolete) training data and
+        the detector fires on every check.
+        """
         self._train_mean = train_sequence.pair_mean()
         self._train_variance = train_sequence.pair_variance()
 
@@ -126,6 +141,19 @@ class PerformanceDegradationDetector:
         if normalized_mlu <= 0:
             raise ValueError("normalised MLU must be positive")
         self._observations.append(float(normalized_mlu))
+
+    def reset(self, baseline: float | None = None) -> None:
+        """Forget the old model's observations (optionally with a new baseline).
+
+        Must be called after retraining: the rolling window still holds the
+        previous model's degraded MLUs, which would otherwise keep the
+        trigger armed until enough fresh observations dilute them.
+        """
+        if baseline is not None:
+            if baseline <= 0:
+                raise ValueError("baseline must be positive")
+            self.baseline = float(baseline)
+        self._observations.clear()
 
     @property
     def degradation(self) -> float:
@@ -184,3 +212,76 @@ class RetrainingPolicy:
         if self.period is not None and self._checks_since_training >= self.period:
             return RetrainingDecision(True, "periodic", drift_score, degradation)
         return RetrainingDecision(False, "none", drift_score, degradation)
+
+
+class RetrainingScheme(TEScheme):
+    """A TE scheme wrapper that retrains its inner scheme per a policy.
+
+    The wrapper is itself a :class:`TEScheme`: ``precompute`` trains the
+    wrapped scheme and arms the policy, ``configure`` / ``configure_batch``
+    delegate to the wrapped scheme (so batched replay through the evaluation
+    engine stays a single vectorized pass), and :meth:`maybe_retrain`
+    evaluates the policy against recent traffic and retrains when it fires.
+
+    Args:
+        scheme: The scheme to wrap (typically FIGRET or DOTE).
+        policy: The retraining triggers.
+        name: Report name (defaults to the wrapped scheme's name).
+    """
+
+    def __init__(
+        self,
+        scheme: TEScheme,
+        policy: RetrainingPolicy,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(scheme.path_set, name or scheme.name)
+        self.scheme = scheme
+        self.policy = policy
+        self.retrain_count = 0
+        self._train_sequence: TrafficMatrixSequence | None = None
+
+    def precompute(self, train_sequence: TrafficMatrixSequence) -> None:
+        self.scheme.precompute(train_sequence)
+        self._train_sequence = train_sequence
+        self.policy.notify_retrained()
+
+    def configure(self, history: np.ndarray) -> TEConfiguration:
+        return self.scheme.configure(history)
+
+    def configure_batch(self, windows: np.ndarray) -> np.ndarray:
+        return self.scheme.configure_batch(windows)
+
+    def observe(self, normalized_mlu: float) -> None:
+        """Feed one observed normalised MLU to the degradation detector."""
+        if self.policy.degradation_detector is not None:
+            self.policy.degradation_detector.observe(normalized_mlu)
+
+    def maybe_retrain(
+        self, recent_traffic: TrafficMatrixSequence | None = None
+    ) -> RetrainingDecision:
+        """Check the policy and retrain the wrapped scheme if it fires.
+
+        Args:
+            recent_traffic: Recent traffic window; used both to score drift
+                and as the training data when retraining triggers.  When
+                omitted (e.g. a degradation-only policy), retraining falls
+                back to the last training data -- the model is effectively
+                re-fit and the triggers are re-armed, so a fired trigger
+                never stays latched.
+        """
+        decision = self.policy.check(recent_traffic)
+        train_data = recent_traffic if recent_traffic is not None else self._train_sequence
+        if decision.retrain and train_data is not None:
+            self.scheme.precompute(train_data)
+            # Re-arm the triggers against the new model: drift is now
+            # measured relative to the data just trained on, and the old
+            # model's degraded observations are discarded.
+            if self.policy.drift_detector is not None:
+                self.policy.drift_detector.rebaseline(train_data)
+            if self.policy.degradation_detector is not None:
+                self.policy.degradation_detector.reset()
+            self.policy.notify_retrained()
+            self._train_sequence = train_data
+            self.retrain_count += 1
+        return decision

@@ -93,3 +93,13 @@ class TealLike(TEScheme):
         latest = np.asarray(history, dtype=float)[-1]
         ratios = self._model.split_ratios(latest, input_scale=self._input_scale)
         return TEConfiguration(self.path_set, ratios, normalize=True)
+
+    def configure_batch(self, windows: np.ndarray) -> np.ndarray:
+        """One vectorized pass over the most recent demand of every window."""
+        if self._model is None:
+            raise RuntimeError("TealLike.configure_batch called before precompute()")
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 3:
+            return super().configure_batch(windows)
+        latest = windows[:, -1, :]
+        return self._model.split_ratios_batch(latest, input_scale=self._input_scale)

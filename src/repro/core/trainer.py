@@ -17,9 +17,18 @@ from repro.core.model import FigretNet
 from repro.nn import Adam, Tensor, clip_gradient_norm
 from repro.paths.path_set import PathSet
 from repro.solvers.lp import omniscient_mlu
+from repro.te.config import TEConfiguration
+from repro.te.scheme import TEScheme
 from repro.traffic.matrix import TrafficMatrixSequence
+from repro.traffic.windows import build_history_windows
 
-__all__ = ["Trainer", "TrainingHistory", "build_windows"]
+__all__ = [
+    "Trainer",
+    "TrainerBackedScheme",
+    "TrainingHistory",
+    "build_windows",
+    "fit_history_window",
+]
 
 
 @dataclass
@@ -48,20 +57,43 @@ def build_windows(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Build (inputs, targets) training arrays from a traffic sequence.
 
+    Delegates to the shared stride-tricks window builder (one sliding-window
+    view over the flattened trace instead of a Python loop) -- the same
+    builder the evaluation engine replays with.
+
     Returns:
         ``inputs`` of shape ``(N, H * num_sd_pairs)`` (flattened windows,
         oldest demand first) and ``targets`` of shape ``(N, num_sd_pairs)``.
     """
-    windows = []
-    targets = []
-    for window, target in sequence.windows(history_len):
-        windows.append(window.reshape(-1))
-        targets.append(target)
-    if not windows:
+    if history_len < 1:
+        raise ValueError("history must be at least 1")
+    if len(sequence) <= history_len:
         raise ValueError(
             f"sequence of length {len(sequence)} is too short for history {history_len}"
         )
-    return np.stack(windows), np.stack(targets)
+    windows, targets = build_history_windows(sequence.flat_demands(), history_len)
+    inputs = windows.reshape(windows.shape[0], -1)
+    return np.ascontiguousarray(inputs), np.ascontiguousarray(targets)
+
+
+def fit_history_window(window: np.ndarray, history_len: int) -> np.ndarray:
+    """Trim or left-pad demand windows to exactly ``history_len`` rows.
+
+    Accepts a single ``(H, num_sd_pairs)`` window or a batch
+    ``(T, H, num_sd_pairs)``; windows longer than ``history_len`` keep their
+    most recent rows, shorter ones are left-padded by repeating the oldest
+    row (so early test intervals still produce a full input).
+    """
+    window = np.asarray(window, dtype=float)
+    length = window.shape[-2]
+    if length > history_len:
+        return window[..., -history_len:, :]
+    if length < history_len:
+        pad = np.repeat(
+            window[..., :1, :], history_len - length, axis=window.ndim - 2
+        )
+        return np.concatenate([pad, window], axis=window.ndim - 2)
+    return window
 
 
 class Trainer:
@@ -158,3 +190,50 @@ class Trainer:
     def split_ratios(self, history_window: np.ndarray) -> np.ndarray:
         """Normalised split ratios for one history window (``(H, num_sd)``)."""
         return self.model.split_ratios(history_window, input_scale=self.input_scale)
+
+    def split_ratios_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Split ratios for a batch of windows (``(T, H, num_sd)``) in one pass."""
+        return self.model.split_ratios_batch(windows, input_scale=self.input_scale)
+
+
+class TrainerBackedScheme(TEScheme):
+    """Shared inference plumbing for schemes backed by a :class:`Trainer`.
+
+    Subclasses (FIGRET, DOTE) set ``self.config`` in their constructor and
+    assign ``self._trainer`` during ``precompute``; window fitting and the
+    single/batched forward passes live here so they cannot drift apart.
+    """
+
+    def __init__(self, path_set: PathSet, name: str) -> None:
+        super().__init__(path_set, name)
+        self.config: TrainingConfig
+        self._trainer: Trainer | None = None
+
+    @property
+    def history_len(self) -> int:
+        """Length of the demand history window the scheme expects."""
+        return self.config.history_len
+
+    def _require_trainer(self) -> Trainer:
+        if self._trainer is None:
+            raise RuntimeError(
+                f"{type(self).__name__}.configure called before precompute()"
+            )
+        return self._trainer
+
+    def configure(self, history: np.ndarray) -> TEConfiguration:
+        trainer = self._require_trainer()
+        window = fit_history_window(history, self.config.history_len)
+        return TEConfiguration(
+            self.path_set, trainer.split_ratios(window), normalize=True
+        )
+
+    def configure_batch(self, windows: np.ndarray) -> np.ndarray:
+        """All test windows in one vectorized forward pass (``(T, num_paths)``)."""
+        trainer = self._require_trainer()
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 3:
+            return super().configure_batch(windows)
+        return trainer.split_ratios_batch(
+            fit_history_window(windows, self.config.history_len)
+        )

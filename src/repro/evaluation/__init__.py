@@ -1,9 +1,11 @@
 """Evaluation harness: metrics, scheme runner, timing, and report formatting."""
 
 from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics, severe_congestion_fraction
+from repro.evaluation.engine import EvaluationEngine, build_history_windows
 from repro.evaluation.runner import (
     EvaluationResult,
     compute_optimal_mlus,
+    default_engine,
     evaluate_scheme,
     compare_schemes,
     fluctuation_experiment,
@@ -17,6 +19,9 @@ __all__ = [
     "MLUStatistics",
     "normalized_mlu_statistics",
     "severe_congestion_fraction",
+    "EvaluationEngine",
+    "build_history_windows",
+    "default_engine",
     "EvaluationResult",
     "compute_optimal_mlus",
     "evaluate_scheme",

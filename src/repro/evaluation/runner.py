@@ -4,26 +4,33 @@ The evaluation protocol mirrors Section 5: every scheme is given the ``H``
 most recent demand matrices of the *test* trace and must output the
 configuration used for the next, unseen matrix.  The resulting MLU is
 normalised by the omniscient-optimal MLU of that matrix.
+
+Since the batched-engine refactor, this module is a thin facade over
+:class:`repro.evaluation.engine.EvaluationEngine`: replay is a single
+vectorized pass per scheme and the omniscient normalisers come from an
+:class:`~repro.solvers.lp.OptimalMLUCache` shared by *every* experiment in
+the process (main comparison, fluctuation, drift, failures).  Pass an
+explicit ``engine`` to isolate caches, e.g. between unrelated path sets'
+workloads in one long-running process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
+from repro.evaluation.engine import (
+    EvaluationEngine,
+    EvaluationResult,
+    build_history_windows,
+)
 from repro.paths.path_set import PathSet
-from repro.solvers.lp import omniscient_mlu, solve_mlu_lp
-from repro.te.config import TEConfiguration
-from repro.te.failures import reroute_around_failures, sample_failed_links
-from repro.te.mlu import max_link_utilization
 from repro.te.scheme import TEScheme
 from repro.traffic.matrix import TrafficMatrixSequence
-from repro.traffic.perturb import gaussian_fluctuation, reverse_rank_fluctuation
 
 __all__ = [
     "EvaluationResult",
+    "build_history_windows",
+    "default_engine",
     "compute_optimal_mlus",
     "evaluate_scheme",
     "compare_schemes",
@@ -32,32 +39,22 @@ __all__ = [
     "failure_experiment",
 ]
 
-
-@dataclass
-class EvaluationResult:
-    """Outcome of replaying one scheme over a test trace.
-
-    Attributes:
-        scheme_name: Name of the evaluated scheme.
-        normalized_mlus: Per-interval MLU divided by the omniscient optimum.
-        raw_mlus: Per-interval absolute MLU.
-        optimal_mlus: Per-interval omniscient-optimal MLU.
-    """
-
-    scheme_name: str
-    normalized_mlus: np.ndarray
-    raw_mlus: np.ndarray
-    optimal_mlus: np.ndarray
-
-    @property
-    def statistics(self) -> MLUStatistics:
-        """Summary statistics of the normalised-MLU series."""
-        return normalized_mlu_statistics(self.normalized_mlus)
+#: Process-wide engine: one LP-result cache shared by every experiment.
+_DEFAULT_ENGINE = EvaluationEngine()
 
 
-def compute_optimal_mlus(path_set: PathSet, demands: np.ndarray) -> np.ndarray:
+def default_engine() -> EvaluationEngine:
+    """The process-wide engine (and its shared optimal-MLU cache)."""
+    return _DEFAULT_ENGINE
+
+
+def compute_optimal_mlus(
+    path_set: PathSet,
+    demands: np.ndarray,
+    engine: EvaluationEngine | None = None,
+) -> np.ndarray:
     """Omniscient-optimal MLU for every demand vector (the normaliser)."""
-    return np.array([omniscient_mlu(path_set, demand) for demand in demands])
+    return (engine or _DEFAULT_ENGINE).optimal_mlus(path_set, demands)
 
 
 def evaluate_scheme(
@@ -66,44 +63,29 @@ def evaluate_scheme(
     history_len: int,
     optimal_mlus: np.ndarray | None = None,
     oracle_demand: bool = False,
+    engine: EvaluationEngine | None = None,
 ) -> EvaluationResult:
-    """Replay a scheme over a test trace.
+    """Replay a scheme over a test trace (one batched pass).
 
     Args:
         scheme: A scheme whose ``precompute`` has already been called.
         test_sequence: The test portion of the trace.
-        history_len: Number of recent demand vectors handed to ``configure``.
+        history_len: Number of recent demand vectors handed to the scheme.
         optimal_mlus: Optional pre-computed omniscient MLUs (one per interval
             of the test sequence) to avoid re-solving the LP for every scheme.
         oracle_demand: If True the scheme is handed the *true* next demand as
             the most recent history row (used for the Omniscient benchmark).
+        engine: Evaluation engine to use (the shared default if omitted).
 
     Returns:
         The per-interval results for intervals ``history_len .. len(test)-1``.
     """
-    flat = test_sequence.flat_demands()
-    if len(flat) <= history_len:
-        raise ValueError("test sequence is shorter than the history window")
-    path_set = scheme.path_set
-    raw, optimal, normalized = [], [], []
-    for t in range(history_len, len(flat)):
-        history = flat[t - history_len : t]
-        if oracle_demand:
-            history = np.vstack([history, flat[t]])
-        config = scheme.configure(history)
-        mlu = max_link_utilization(path_set, config, flat[t])
-        if optimal_mlus is not None:
-            best = float(optimal_mlus[t])
-        else:
-            best = omniscient_mlu(path_set, flat[t])
-        raw.append(mlu)
-        optimal.append(best)
-        normalized.append(mlu / best)
-    return EvaluationResult(
-        scheme_name=scheme.name,
-        normalized_mlus=np.array(normalized),
-        raw_mlus=np.array(raw),
-        optimal_mlus=np.array(optimal),
+    return (engine or _DEFAULT_ENGINE).evaluate_scheme(
+        scheme,
+        test_sequence,
+        history_len,
+        optimal_mlus=optimal_mlus,
+        oracle_demand=oracle_demand,
     )
 
 
@@ -113,22 +95,19 @@ def compare_schemes(
     test_sequence: TrafficMatrixSequence,
     history_len: int,
     precompute: bool = True,
+    engine: EvaluationEngine | None = None,
 ) -> dict[str, EvaluationResult]:
     """Train (precompute) every scheme and replay all of them on the same trace.
 
     The omniscient-optimal MLUs are computed once and shared across schemes.
+
+    Raises:
+        ValueError: If the schemes do not all share one :class:`PathSet`
+        (their normalised MLUs would not be comparable).
     """
-    flat_test = test_sequence.flat_demands()
-    path_set = schemes[0].path_set
-    optimal = compute_optimal_mlus(path_set, flat_test)
-    results: dict[str, EvaluationResult] = {}
-    for scheme in schemes:
-        if precompute:
-            scheme.precompute(train_sequence)
-        results[scheme.name] = evaluate_scheme(
-            scheme, test_sequence, history_len, optimal_mlus=optimal
-        )
-    return results
+    return (engine or _DEFAULT_ENGINE).compare_schemes(
+        schemes, train_sequence, test_sequence, history_len, precompute=precompute
+    )
 
 
 def fluctuation_experiment(
@@ -139,6 +118,7 @@ def fluctuation_experiment(
     alphas: tuple[float, ...] = (0.2, 0.5, 1.0, 2.0),
     worst_case: bool = False,
     seed: int = 0,
+    engine: EvaluationEngine | None = None,
 ) -> dict[float, dict[str, float]]:
     """Performance decline under injected traffic fluctuations (Tables 3 and 5).
 
@@ -151,26 +131,22 @@ def fluctuation_experiment(
         worst_case: If True, use the adversarial rank-reversed fluctuation of
             Table 5 instead of the natural fluctuation of Table 3.
         seed: RNG seed for the injected noise.
+        engine: Evaluation engine to use (the shared default if omitted).
 
     Returns:
         ``{alpha: {"average_decline": .., "p90_decline": ..}}`` where declines
         are relative increases of the mean / 90th-percentile normalised MLU
         versus the unperturbed test trace (negative = no degradation).
     """
-    reference_std = train_sequence.pair_std()
-    baseline = evaluate_scheme(scheme, test_sequence, history_len)
-    base_stats = baseline.statistics
-    perturbation = reverse_rank_fluctuation if worst_case else gaussian_fluctuation
-    outcome: dict[float, dict[str, float]] = {}
-    for alpha in alphas:
-        perturbed = perturbation(test_sequence, alpha, reference_std, seed=seed)
-        result = evaluate_scheme(scheme, perturbed, history_len)
-        stats = result.statistics
-        outcome[alpha] = {
-            "average_decline": stats.mean / base_stats.mean - 1.0,
-            "p90_decline": stats.p90 / base_stats.p90 - 1.0,
-        }
-    return outcome
+    return (engine or _DEFAULT_ENGINE).fluctuation_experiment(
+        scheme,
+        test_sequence,
+        train_sequence,
+        history_len,
+        alphas=alphas,
+        worst_case=worst_case,
+        seed=seed,
+    )
 
 
 def drift_experiment(
@@ -178,6 +154,7 @@ def drift_experiment(
     traffic: TrafficMatrixSequence,
     history_len: int,
     segments: tuple[tuple[float, float], ...] = ((0.0, 0.25), (0.25, 0.5), (0.5, 0.75)),
+    engine: EvaluationEngine | None = None,
 ) -> dict[str, dict[str, float]]:
     """Natural-drift experiment (Table 4).
 
@@ -188,22 +165,9 @@ def drift_experiment(
     Returns:
         ``{"0%-25%": {"average_decline": .., "p90_decline": ..}, ...}``.
     """
-    test = traffic.segment(0.75, 1.0)
-    baseline_scheme = scheme_factory()
-    baseline_scheme.precompute(traffic.segment(0.0, 0.75))
-    baseline = evaluate_scheme(baseline_scheme, test, history_len).statistics
-
-    outcome: dict[str, dict[str, float]] = {}
-    for start, end in segments:
-        scheme = scheme_factory()
-        scheme.precompute(traffic.segment(start, end))
-        stats = evaluate_scheme(scheme, test, history_len).statistics
-        label = f"{int(start * 100)}%-{int(end * 100)}%"
-        outcome[label] = {
-            "average_decline": stats.mean / baseline.mean - 1.0,
-            "p90_decline": stats.p90 / baseline.p90 - 1.0,
-        }
-    return outcome
+    return (engine or _DEFAULT_ENGINE).drift_experiment(
+        scheme_factory, traffic, history_len, segments=segments
+    )
 
 
 def failure_experiment(
@@ -214,6 +178,7 @@ def failure_experiment(
     num_trials: int = 10,
     fault_aware_names: tuple[str, ...] = ("FA Des TE",),
     seed: int = 0,
+    engine: EvaluationEngine | None = None,
 ) -> dict[str, np.ndarray]:
     """Link-failure experiment (Figures 7, 14 and 15).
 
@@ -228,32 +193,12 @@ def failure_experiment(
         Mapping from scheme name to an array of normalised MLUs (one entry
         per trial x evaluated interval).
     """
-    path_set = schemes[0].path_set
-    topology = path_set.topology
-    flat = test_sequence.flat_demands()
-    if len(flat) <= history_len:
-        raise ValueError("test sequence is shorter than the history window")
-    rng = np.random.default_rng(seed)
-    results: dict[str, list[float]] = {scheme.name: [] for scheme in schemes}
-
-    eval_times = range(history_len, len(flat))
-    for _ in range(num_trials):
-        failed = sample_failed_links(topology, num_failures, rng)
-        working_mask = path_set.restrict_to_working_paths(failed)
-        for scheme in schemes:
-            if scheme.name in fault_aware_names and hasattr(scheme, "set_failures"):
-                scheme.set_failures(failed)
-        for t in eval_times:
-            history = flat[t - history_len : t]
-            demand = flat[t]
-            _, oracle = solve_mlu_lp(path_set, demand, path_mask=working_mask)
-            oracle = max(oracle, 1e-12)
-            for scheme in schemes:
-                config = scheme.configure(history)
-                if scheme.name in fault_aware_names:
-                    rerouted = config
-                else:
-                    rerouted = reroute_around_failures(config, failed)
-                mlu = max_link_utilization(path_set, rerouted, demand)
-                results[scheme.name].append(mlu / oracle)
-    return {name: np.array(values) for name, values in results.items()}
+    return (engine or _DEFAULT_ENGINE).failure_experiment(
+        schemes,
+        test_sequence,
+        history_len,
+        num_failures,
+        num_trials=num_trials,
+        fault_aware_names=fault_aware_names,
+        seed=seed,
+    )

@@ -14,6 +14,8 @@ the path-sensitivity metric.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 from scipy import sparse
 
@@ -109,6 +111,27 @@ class PathSet:
     # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the path structure.
+
+        Two path sets with the same candidate paths over the same edges and
+        capacities share a fingerprint, so it can serve as a cache key (e.g.
+        for :class:`~repro.solvers.lp.OptimalMLUCache`) without holding a
+        reference to the object itself.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            digest = hashlib.sha1()
+            digest.update(np.int64(self.topology.num_nodes).tobytes())
+            digest.update(np.ascontiguousarray(self.topology.capacities, dtype=float).tobytes())
+            digest.update(self.path_to_edge.indptr.tobytes())
+            digest.update(self.path_to_edge.indices.tobytes())
+            digest.update(self.path_sd_index.tobytes())
+            cached = digest.hexdigest()
+            self._fingerprint = cached
+        return cached
+
     @property
     def num_paths(self) -> int:
         """Total number of candidate paths."""

@@ -1,6 +1,15 @@
 """LP-based traffic engineering schemes (baselines of the paper)."""
 
-from repro.solvers.lp import solve_mlu_lp, omniscient_mlu, OmniscientTE, PredictionBasedTE
+from repro.solvers.lp import (
+    solve_mlu_lp,
+    solve_mlu_lp_batch,
+    omniscient_mlu,
+    OptimalMLUCache,
+    MLUConstraintStructure,
+    constraint_structure,
+    OmniscientTE,
+    PredictionBasedTE,
+)
 from repro.solvers.desensitization import DesensitizationTE, FaultAwareDesensitizationTE
 from repro.solvers.heuristic_f import LinearSensitivityTE, PiecewiseSensitivityTE
 from repro.solvers.oblivious import ObliviousTE, solve_oblivious_routing
@@ -8,7 +17,11 @@ from repro.solvers.cope import CopeTE
 
 __all__ = [
     "solve_mlu_lp",
+    "solve_mlu_lp_batch",
     "omniscient_mlu",
+    "OptimalMLUCache",
+    "MLUConstraintStructure",
+    "constraint_structure",
     "OmniscientTE",
     "PredictionBasedTE",
     "DesensitizationTE",

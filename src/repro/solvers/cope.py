@@ -165,3 +165,9 @@ class CopeTE(TEScheme):
         if self._config is None:
             raise RuntimeError("CopeTE.configure called before precompute()")
         return self._config
+
+    def configure_batch(self, windows: np.ndarray) -> np.ndarray:
+        """The routing is static, so the batch is one broadcast of the solution."""
+        if self._config is None:
+            raise RuntimeError("CopeTE.configure_batch called before precompute()")
+        return self._static_batch(windows, self._config)

@@ -8,14 +8,27 @@ minimise the maximum link utilisation are the solution of the LP:
                 sum_{p: e in p} D_{sd(p)} r_p <= t * c(e)    for every edge e
                 r_p >= 0
 
-This module provides the raw solver (:func:`solve_mlu_lp`), the omniscient
-benchmark used to normalise every MLU the paper reports
-(:func:`omniscient_mlu`), and the two simplest schemes built directly on the
-LP: :class:`OmniscientTE` (perfect knowledge of the next demand) and
+This module provides the raw solver (:func:`solve_mlu_lp`), a batched variant
+(:func:`solve_mlu_lp_batch`) with optional process-pool fan-out, the
+omniscient benchmark used to normalise every MLU the paper reports
+(:func:`omniscient_mlu`), a cache for those normalisers
+(:class:`OptimalMLUCache`), and the two simplest schemes built directly on
+the LP: :class:`OmniscientTE` (perfect knowledge of the next demand) and
 :class:`PredictionBasedTE` (solve for a demand predicted from history).
+
+The LP's constraint matrices depend on the demand only through a diagonal
+rescale of the path-to-edge incidence, so everything demand-independent
+(sparsity pattern, equality rows, capacity column, bounds template) is
+precomputed once per :class:`PathSet` in :class:`MLUConstraintStructure` and
+shared by every subsequent solve.
 """
 
 from __future__ import annotations
+
+import hashlib
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 from scipy import sparse
@@ -27,8 +40,12 @@ from repro.te.scheme import TEScheme
 
 __all__ = [
     "LPSolveError",
+    "MLUConstraintStructure",
+    "constraint_structure",
     "solve_mlu_lp",
+    "solve_mlu_lp_batch",
     "omniscient_mlu",
+    "OptimalMLUCache",
     "OmniscientTE",
     "PredictionBasedTE",
     "predict_demand",
@@ -39,63 +56,94 @@ class LPSolveError(RuntimeError):
     """Raised when the LP solver fails to find an optimal solution."""
 
 
-def _build_edge_constraints(path_set: PathSet, demand_vector: np.ndarray) -> sparse.csr_matrix:
-    """Rows = edges; columns = paths; entry = demand carried if ratio is 1."""
-    demand_per_path = path_set.demand_per_path(np.asarray(demand_vector, dtype=float))
-    # Scale each path's incidence column by its pair's demand.
-    scaling = sparse.diags(demand_per_path)
-    return (path_set.path_to_edge.T @ scaling).tocsr()
+class MLUConstraintStructure:
+    """Demand-independent pieces of the MLU LP for one :class:`PathSet`.
 
-
-def solve_mlu_lp(
-    path_set: PathSet,
-    demand_vector: np.ndarray,
-    sensitivity_caps: np.ndarray | None = None,
-    path_mask: np.ndarray | None = None,
-) -> tuple[TEConfiguration, float]:
-    """Solve the MLU-minimisation LP for a single demand vector.
-
-    Args:
-        path_set: Candidate paths.
-        demand_vector: Demands in SD-pair order.
-        sensitivity_caps: Optional per-path upper bounds on the split ratio
-            implied by a path-sensitivity constraint (``r_p <= cap_p``).  This
-            is how the Desensitization-based and heuristic-F schemes restrict
-            the solution space.
-        path_mask: Optional boolean mask of usable paths (False = the path is
-            unavailable, e.g. it traverses a failed link).  Pairs whose paths
-            are all masked keep a uniform split.
-
-    Returns:
-        ``(configuration, optimal MLU)``.
-
-    Raises:
-        LPSolveError: If the LP is infeasible or the solver fails.
+    Variable layout: ``[r_0 ... r_{P-1}, t]``.  The inequality matrix
+    ``A_ub = [PathToEdge^T * diag(demand_per_path) | -capacities]`` only
+    depends on the demand through a per-column rescale, so the template is
+    assembled once in CSC form and each solve merely multiplies the stored
+    base data by its column's demand -- a cheap :func:`numpy` gather instead
+    of a sparse-matrix build.
     """
+
+    def __init__(self, path_set: PathSet) -> None:
+        # Deliberately no reference to the PathSet itself: instances live as
+        # values of a WeakKeyDictionary keyed by the PathSet, so holding it
+        # here would keep the key alive forever.  Only the arrays a_ub()
+        # needs are kept.
+        self.num_paths = path_set.num_paths
+        self.num_sd_pairs = path_set.num_sd_pairs
+        self._path_sd_index = path_set.path_sd_index
+        num_paths = path_set.num_paths
+        num_edges = path_set.topology.num_edges
+        num_pairs = path_set.num_sd_pairs
+
+        self.cost = np.zeros(num_paths + 1)
+        self.cost[-1] = 1.0
+
+        # Equality: per-pair ratios sum to one.
+        self.a_eq = sparse.hstack(
+            [path_set.sd_to_path, sparse.csr_matrix((num_pairs, 1))]
+        ).tocsr()
+        self.b_eq = np.ones(num_pairs)
+        self.b_ub = np.zeros(num_edges)
+
+        # Inequality template: per-edge load minus t * capacity <= 0, with the
+        # demand scaling left at one.
+        capacity_col = sparse.csr_matrix(
+            (-path_set.topology.capacities, (np.arange(num_edges), np.zeros(num_edges, dtype=int))),
+            shape=(num_edges, 1),
+        )
+        template = sparse.hstack([path_set.path_to_edge.T, capacity_col]).tocsc()
+        template.sort_indices()
+        self._template = template
+        self._base_data = template.data.copy()
+        # Column index of every stored non-zero (for the diagonal rescale).
+        self._nnz_column = np.repeat(
+            np.arange(num_paths + 1), np.diff(template.indptr)
+        )
+
+    def a_ub(self, demand_vector: np.ndarray) -> sparse.csc_matrix:
+        """Inequality matrix for one demand vector (shared sparsity arrays)."""
+        num_paths = self.num_paths
+        demand = np.asarray(demand_vector, dtype=float)
+        if demand.shape != (self.num_sd_pairs,):
+            raise ValueError(
+                f"demand vector must have {self.num_sd_pairs} entries, got {demand.shape}"
+            )
+        scale = np.empty(num_paths + 1)
+        scale[:num_paths] = demand[self._path_sd_index]
+        scale[num_paths] = 1.0
+        data = self._base_data * scale[self._nnz_column]
+        return sparse.csc_matrix(
+            (data, self._template.indices, self._template.indptr),
+            shape=self._template.shape,
+        )
+
+
+_STRUCTURES: "weakref.WeakKeyDictionary[PathSet, MLUConstraintStructure]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def constraint_structure(path_set: PathSet) -> MLUConstraintStructure:
+    """The (cached) precomputed constraint structure of a path set."""
+    structure = _STRUCTURES.get(path_set)
+    if structure is None:
+        structure = MLUConstraintStructure(path_set)
+        _STRUCTURES[path_set] = structure
+    return structure
+
+
+def _ratio_upper_bounds(
+    path_set: PathSet,
+    sensitivity_caps: np.ndarray | None,
+    path_mask: np.ndarray | None,
+) -> np.ndarray:
+    """Per-path ratio upper bounds implied by sensitivity caps and failures."""
     num_paths = path_set.num_paths
-    num_edges = path_set.topology.num_edges
     num_pairs = path_set.num_sd_pairs
-    demand_vector = np.asarray(demand_vector, dtype=float)
-
-    # Variable layout: [r_0 ... r_{P-1}, t].
-    cost = np.zeros(num_paths + 1)
-    cost[-1] = 1.0
-
-    # Equality: per-pair ratios sum to one.
-    a_eq = sparse.hstack(
-        [path_set.sd_to_path, sparse.csr_matrix((num_pairs, 1))]
-    ).tocsr()
-    b_eq = np.ones(num_pairs)
-
-    # Inequality: per-edge load minus t * capacity <= 0.
-    edge_rows = _build_edge_constraints(path_set, demand_vector)
-    capacity_col = sparse.csr_matrix(
-        (-path_set.topology.capacities, (np.arange(num_edges), np.zeros(num_edges, dtype=int))),
-        shape=(num_edges, 1),
-    )
-    a_ub = sparse.hstack([edge_rows, capacity_col]).tocsr()
-    b_ub = np.zeros(num_edges)
-
     upper = np.ones(num_paths)
     if sensitivity_caps is not None:
         caps = np.asarray(sensitivity_caps, dtype=float)
@@ -131,15 +179,49 @@ def solve_mlu_lp(
         still_bad = cap_sums < 1.0 - 1e-9
         if still_bad.any():
             upper = np.where(still_bad[path_set.path_sd_index], 1.0, upper)
+    return upper
 
+
+def solve_mlu_lp(
+    path_set: PathSet,
+    demand_vector: np.ndarray,
+    sensitivity_caps: np.ndarray | None = None,
+    path_mask: np.ndarray | None = None,
+) -> tuple[TEConfiguration, float]:
+    """Solve the MLU-minimisation LP for a single demand vector.
+
+    The demand-independent constraint structure is precomputed once per
+    path set (see :class:`MLUConstraintStructure`), so repeated solves over
+    the same path set only pay for the diagonal rescale and the solver run.
+
+    Args:
+        path_set: Candidate paths.
+        demand_vector: Demands in SD-pair order.
+        sensitivity_caps: Optional per-path upper bounds on the split ratio
+            implied by a path-sensitivity constraint (``r_p <= cap_p``).  This
+            is how the Desensitization-based and heuristic-F schemes restrict
+            the solution space.
+        path_mask: Optional boolean mask of usable paths (False = the path is
+            unavailable, e.g. it traverses a failed link).  Pairs whose paths
+            are all masked keep a uniform split.
+
+    Returns:
+        ``(configuration, optimal MLU)``.
+
+    Raises:
+        LPSolveError: If the LP is infeasible or the solver fails.
+    """
+    structure = constraint_structure(path_set)
+    num_paths = path_set.num_paths
+    upper = _ratio_upper_bounds(path_set, sensitivity_caps, path_mask)
     bounds = [(0.0, float(u)) for u in upper] + [(0.0, None)]
 
     result = linprog(
-        cost,
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq,
-        b_eq=b_eq,
+        structure.cost,
+        A_ub=structure.a_ub(demand_vector),
+        b_ub=structure.b_ub,
+        A_eq=structure.a_eq,
+        b_eq=structure.b_eq,
         bounds=bounds,
         method="highs",
     )
@@ -148,6 +230,53 @@ def solve_mlu_lp(
     ratios = result.x[:num_paths]
     mlu = float(result.x[-1])
     return TEConfiguration(path_set, ratios, normalize=True), mlu
+
+
+def _solve_batch_chunk(args) -> list[tuple[np.ndarray, float]]:
+    """Process-pool worker: solve a chunk of demands over one path set."""
+    path_set, demands, sensitivity_caps, path_mask = args
+    out = []
+    for demand in demands:
+        config, mlu = solve_mlu_lp(path_set, demand, sensitivity_caps, path_mask)
+        out.append((config.split_ratios, mlu))
+    return out
+
+
+def solve_mlu_lp_batch(
+    path_set: PathSet,
+    demands: np.ndarray,
+    sensitivity_caps: np.ndarray | None = None,
+    path_mask: np.ndarray | None = None,
+    workers: int | None = None,
+) -> list[tuple[TEConfiguration, float]]:
+    """Solve the MLU LP for every row of a ``(T, num_sd_pairs)`` demand array.
+
+    The solves are independent, so with ``workers`` set they fan out over a
+    process pool (each worker rebuilds the constraint structure once per
+    chunk, then reuses it).  With ``workers=None`` (default) the solves run
+    sequentially in-process, still sharing one precomputed structure.
+
+    Returns:
+        A list of ``(configuration, optimal MLU)`` tuples, one per demand row.
+    """
+    demands = np.asarray(demands, dtype=float)
+    if demands.ndim == 1:
+        demands = demands[None, :]
+    if workers is not None and workers > 1 and len(demands) > 1:
+        num_chunks = min(workers, len(demands))
+        chunks = np.array_split(demands, num_chunks)
+        jobs = [(path_set, chunk, sensitivity_caps, path_mask) for chunk in chunks]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunk_results = list(pool.map(_solve_batch_chunk, jobs))
+        return [
+            (TEConfiguration(path_set, ratios, normalize=False), mlu)
+            for chunk in chunk_results
+            for ratios, mlu in chunk
+        ]
+    return [
+        solve_mlu_lp(path_set, demand, sensitivity_caps, path_mask)
+        for demand in demands
+    ]
 
 
 def omniscient_mlu(path_set: PathSet, demand_vector: np.ndarray) -> float:
@@ -159,6 +288,120 @@ def omniscient_mlu(path_set: PathSet, demand_vector: np.ndarray) -> float:
     """
     _, mlu = solve_mlu_lp(path_set, demand_vector)
     return max(mlu, 1e-12)
+
+
+class OptimalMLUCache:
+    """Memoises omniscient-optimal MLUs across experiments.
+
+    Entries are keyed by ``(path-set fingerprint, demand hash, mask hash)``,
+    so structurally identical path sets share entries and the cache survives
+    the path-set object itself.  Values carry the same ``1e-12`` floor as
+    :func:`omniscient_mlu` so they can be used as normalisers directly.
+
+    Args:
+        max_entries: Oldest entries are evicted beyond this size (the values
+            are floats, so the default allows millions of cached solves).
+    """
+
+    def __init__(self, max_entries: int = 1_000_000) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[str, str, str], float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _mask_key(path_mask: np.ndarray | None) -> str:
+        if path_mask is None:
+            return ""
+        return hashlib.sha1(
+            np.ascontiguousarray(path_mask, dtype=bool).tobytes()
+        ).hexdigest()
+
+    @staticmethod
+    def _demand_key(demand_vector: np.ndarray) -> str:
+        return hashlib.sha1(
+            np.ascontiguousarray(demand_vector, dtype=float).tobytes()
+        ).hexdigest()
+
+    def _store(self, key: tuple[str, str, str], value: float) -> None:
+        self._entries[key] = value
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def optimal_mlu(
+        self,
+        path_set: PathSet,
+        demand_vector: np.ndarray,
+        path_mask: np.ndarray | None = None,
+    ) -> float:
+        """Cached :func:`omniscient_mlu` (optionally restricted to a path mask)."""
+        demand_vector = np.asarray(demand_vector, dtype=float)
+        key = (path_set.fingerprint, self._demand_key(demand_vector), self._mask_key(path_mask))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        _, mlu = solve_mlu_lp(path_set, demand_vector, path_mask=path_mask)
+        value = max(mlu, 1e-12)
+        self._store(key, value)
+        return value
+
+    def optimal_mlus(
+        self,
+        path_set: PathSet,
+        demands: np.ndarray,
+        path_mask: np.ndarray | None = None,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Cached omniscient MLUs for every row of a ``(T, pairs)`` array.
+
+        Rows missing from the cache are solved (fanning out over a process
+        pool when ``workers`` is set) and inserted; cached rows are returned
+        without re-solving.
+        """
+        demands = np.ascontiguousarray(np.asarray(demands, dtype=float))
+        if demands.ndim == 1:
+            demands = demands[None, :]
+        fingerprint = path_set.fingerprint
+        mask_key = self._mask_key(path_mask)
+        keys = [
+            (fingerprint, self._demand_key(demand), mask_key) for demand in demands
+        ]
+        values = np.empty(len(demands))
+        missing: dict[tuple[str, str, str], list[int]] = {}
+        for i, key in enumerate(keys):
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                values[i] = cached
+            else:
+                # Duplicate demands within one batch are solved only once
+                # (but each requested row still counts as a miss, keeping
+                # hits + misses == rows requested).
+                missing.setdefault(key, []).append(i)
+                self.misses += 1
+        if missing:
+            rows = [indices[0] for indices in missing.values()]
+            solved = solve_mlu_lp_batch(
+                path_set, demands[rows], path_mask=path_mask, workers=workers
+            )
+            for (key, indices), (_, mlu) in zip(missing.items(), solved):
+                value = max(mlu, 1e-12)
+                self._store(key, value)
+                values[indices] = value
+        return values
 
 
 def predict_demand(history: np.ndarray, strategy: str = "last") -> np.ndarray:

@@ -253,3 +253,9 @@ class ObliviousTE(TEScheme):
         self._solve()
         assert self._config is not None
         return self._config
+
+    def configure_batch(self, windows: np.ndarray) -> np.ndarray:
+        """The routing is static, so the batch is one broadcast of the solution."""
+        self._solve()
+        assert self._config is not None
+        return self._static_batch(windows, self._config)

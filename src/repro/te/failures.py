@@ -18,7 +18,68 @@ import numpy as np
 
 from repro.te.config import TEConfiguration
 
-__all__ = ["reroute_around_failures", "sample_failed_links"]
+__all__ = [
+    "reroute_around_failures",
+    "reroute_ratios_around_failures",
+    "sample_failed_links",
+]
+
+
+def reroute_ratios_around_failures(
+    path_set,
+    ratios: np.ndarray,
+    working_mask: np.ndarray,
+) -> np.ndarray:
+    """Vectorized failure rerouting on raw split-ratio arrays.
+
+    Implements the same redistribution policy as
+    :func:`reroute_around_failures` but operates directly on one ratio vector
+    ``(num_paths,)`` or a batch ``(T, num_paths)`` with no Python loop over
+    SD pairs -- the per-(trial, interval) hot path of the failure experiment.
+
+    Args:
+        path_set: The paths the ratios refer to.
+        ratios: Valid per-pair-normalised split ratios (one row per interval).
+        working_mask: Boolean mask of surviving paths (as produced by
+            :meth:`PathSet.restrict_to_working_paths`).
+
+    Returns:
+        Rerouted ratios of the same shape.
+    """
+    arr = np.asarray(ratios, dtype=float)
+    single = arr.ndim == 1
+    rows = np.atleast_2d(arr)
+    mask = np.asarray(working_mask, dtype=bool)
+    if mask.shape != (path_set.num_paths,):
+        raise ValueError("working_mask must have one entry per path")
+    if mask.all():
+        return arr.copy()
+
+    idx = path_set.path_sd_index
+    pair_counts = np.asarray(path_set.sd_to_path.sum(axis=1)).ravel()
+    surviving_counts = path_set.sd_to_path @ mask.astype(float)
+    # Per-row, per-pair mass on surviving paths.
+    surviving_total = (path_set.sd_to_path @ (rows * mask).T).T
+
+    per_path_total = surviving_total[:, idx]
+    per_path_surv_count = surviving_counts[idx]
+    per_path_pair_count = pair_counts[idx]
+
+    # Proportional redistribution where surviving mass remains...
+    has_mass = per_path_total > TEConfiguration.SUM_TOLERANCE
+    safe_total = np.where(has_mass, per_path_total, 1.0)
+    proportional = np.where(mask, rows / safe_total, 0.0)
+    # ...uniform over surviving paths where it does not...
+    uniform_surviving = np.where(
+        mask, 1.0 / np.maximum(per_path_surv_count, 1.0), 0.0
+    )
+    out = np.where(has_mass, proportional, uniform_surviving)
+    # ...and uniform over *all* candidate paths for fully partitioned pairs.
+    out = np.where(per_path_surv_count == 0, 1.0 / per_path_pair_count, out)
+    # Pairs untouched by the failures keep their exact original ratios.
+    untouched = (surviving_counts == pair_counts)[idx]
+    out = np.where(untouched, rows, out)
+    return out[0] if single else out
 
 
 def reroute_around_failures(

@@ -10,6 +10,13 @@ A TE scheme's lifecycle in the paper's evaluation is:
    ``H`` most recent demand vectors; must return the TE configuration that
    will carry the *next* (unseen) demand matrix.
 
+Batch-oriented replay (the evaluation engine) instead calls
+``configure_batch(windows)`` once with *every* history window of the test
+trace stacked into a single ``(T, H, num_sd_pairs)`` array.  The base class
+falls back to looping ``configure``; schemes whose configuration is a pure
+function of the window (the neural schemes in particular) override it with a
+single vectorized pass.
+
 All schemes operate on a shared :class:`~repro.paths.path_set.PathSet`, so
 their outputs are directly comparable.
 """
@@ -55,6 +62,47 @@ class TEScheme(abc.ABC):
                 most recent demand vectors, oldest first.  Schemes that only
                 need the most recent matrix use ``history[-1]``.
         """
+
+    def configure_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Split ratios for a whole batch of history windows at once.
+
+        Args:
+            windows: Array of shape ``(T, H, num_sd_pairs)``: one history
+                window (oldest demand first) per evaluation interval.
+
+        Returns:
+            Array of shape ``(T, num_paths)`` whose rows are valid split
+            ratios (non-negative, summing to one within each SD pair) --
+            row ``i`` equals ``configure(windows[i]).split_ratios``.
+
+        The default implementation loops :meth:`configure`; schemes with a
+        vectorized forward pass override it to process all windows in one
+        shot.
+        """
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 3:
+            raise ValueError(
+                f"windows must have shape (T, H, num_sd_pairs), got {windows.shape}"
+            )
+        if windows.shape[0] == 0:
+            return np.zeros((0, self.path_set.num_paths))
+        return np.stack([self.configure(window).split_ratios for window in windows])
+
+    def _static_batch(self, windows: np.ndarray, configuration: TEConfiguration) -> np.ndarray:
+        """Batch output for schemes whose configuration never changes.
+
+        Broadcasts one configuration's ratios over the batch (a read-only
+        view -- downstream consumers only read).  Shared by Oblivious and
+        COPE so the shape validation stays in one place.
+        """
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 3:
+            raise ValueError(
+                f"windows must have shape (T, H, num_sd_pairs), got {windows.shape}"
+            )
+        return np.broadcast_to(
+            configuration.split_ratios, (windows.shape[0], self.path_set.num_paths)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r})"

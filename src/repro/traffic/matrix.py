@@ -94,6 +94,7 @@ class TrafficMatrixSequence:
         self._matrices = items
         self.interval_seconds = float(interval_seconds)
         self.name = name
+        self._flat_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Sequence protocol
@@ -126,8 +127,16 @@ class TrafficMatrixSequence:
         return np.stack([m.matrix for m in self._matrices])
 
     def flat_demands(self) -> np.ndarray:
-        """Stack into a ``(T, n*(n-1))`` array in SD-pair order."""
-        return np.stack([m.flat() for m in self._matrices])
+        """Stack into a ``(T, n*(n-1))`` array in SD-pair order.
+
+        The stacked array is cached (the matrices are immutable), so the
+        evaluation engine's repeated replays of one test sequence do not
+        re-stack the trace.  Treat the result as read-only.
+        """
+        if self._flat_cache is None:
+            self._flat_cache = np.stack([m.flat() for m in self._matrices])
+            self._flat_cache.setflags(write=False)
+        return self._flat_cache
 
     # ------------------------------------------------------------------ #
     # Statistics used by FIGRET's loss and the evaluation

@@ -1,0 +1,52 @@
+"""Sliding history windows over flattened demand traces.
+
+One stride-tricks view serves both consumers of windowed demands: the
+trainer's supervised (window, target) pairs and the evaluation engine's
+batched replay.  Living in the traffic layer keeps the dependency direction
+clean -- both ``core`` and ``evaluation`` sit above ``traffic``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = ["build_history_windows"]
+
+
+def build_history_windows(
+    flat_demands: np.ndarray,
+    history_len: int,
+    oracle_demand: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All evaluation windows of a flattened trace, built in one shot.
+
+    Args:
+        flat_demands: ``(len(trace), num_sd_pairs)`` demand array.
+        history_len: Number of recent demand vectors per window.
+        oracle_demand: If True each window additionally carries the *true*
+            next demand as its final row (the Omniscient benchmark's input),
+            making the windows ``history_len + 1`` rows tall.
+
+    Returns:
+        ``(windows, targets)`` where ``windows`` has shape
+        ``(T, H, num_sd_pairs)`` (``H = history_len`` plus one if
+        ``oracle_demand``) with ``windows[i] = flat[i : i + H]``, and
+        ``targets`` has shape ``(T, num_sd_pairs)`` with
+        ``targets[i] = flat[history_len + i]`` -- the demand the window must
+        route.  ``T = len(trace) - history_len``.  Both are views of
+        ``flat_demands`` (no copies).
+    """
+    flat = np.ascontiguousarray(np.asarray(flat_demands, dtype=float))
+    if flat.ndim != 2:
+        raise ValueError(f"flat_demands must be 2-D, got shape {flat.shape}")
+    if history_len < 1:
+        raise ValueError("history must be at least 1")
+    if len(flat) <= history_len:
+        raise ValueError("test sequence is shorter than the history window")
+    window_rows = history_len + 1 if oracle_demand else history_len
+    # (len - rows + 1, num_pairs, rows) -> transpose to (T', rows, num_pairs).
+    swept = sliding_window_view(flat, window_rows, axis=0).transpose(0, 2, 1)
+    targets = flat[history_len:]
+    windows = swept if oracle_demand else swept[: len(targets)]
+    return windows, targets
