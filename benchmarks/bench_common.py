@@ -16,8 +16,10 @@ import numpy as np
 
 from repro import datasets
 from repro.core import Dote, Figret, TealLike, TrainingConfig
-from repro.evaluation import compute_optimal_mlus, evaluate_scheme
+from repro.evaluation import evaluate_scheme
+from repro.evaluation.engine import EvaluationEngine
 from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
+from repro.solvers.lp import shared_cache
 
 #: Seed used by every benchmark scenario (results are deterministic).
 BENCH_SEED = 7
@@ -39,6 +41,21 @@ MAX_EVAL_INTERVALS = 40
 
 _scenarios: dict[str, datasets.Scenario] = {}
 _schemes: dict[tuple, object] = {}
+_engine: EvaluationEngine | None = None
+
+
+def bench_engine() -> EvaluationEngine:
+    """The engine shared by every benchmark in the session.
+
+    Built on the process-wide LP cache (so the trainers' normaliser solves
+    are reused here and vice versa) with an ``os.cpu_count()``-derived
+    process-pool width for cold LP batches -- the larger topologies
+    (Cogentco/UsCarrier) are where the fan-out pays off.
+    """
+    global _engine
+    if _engine is None:
+        _engine = EvaluationEngine(cache=shared_cache(), lp_workers="auto")
+    return _engine
 
 
 def get_scenario(name: str) -> datasets.Scenario:
@@ -115,7 +132,7 @@ def optimal_mlus(scenario: datasets.Scenario, max_intervals: int = MAX_EVAL_INTE
     are cache hits.
     """
     sliced = test_slice(scenario, max_intervals)
-    return compute_optimal_mlus(scenario.paths, sliced.flat_demands())
+    return bench_engine().optimal_mlus(scenario.paths, sliced.flat_demands())
 
 
 def evaluate_on_scenario(scheme, scenario: datasets.Scenario, max_intervals: int = MAX_EVAL_INTERVALS):
@@ -126,6 +143,7 @@ def evaluate_on_scenario(scheme, scenario: datasets.Scenario, max_intervals: int
         sliced,
         history_len=scenario.history_len,
         optimal_mlus=optimal_mlus(scenario, max_intervals),
+        engine=bench_engine(),
     )
 
 

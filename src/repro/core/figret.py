@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.config import TrainingConfig
 from repro.core.trainer import Trainer, TrainerBackedScheme, TrainingHistory
 from repro.paths.path_set import PathSet
+from repro.solvers.lp import OptimalMLUCache
 from repro.traffic.matrix import TrafficMatrixSequence
 
 __all__ = ["Figret"]
@@ -30,6 +31,9 @@ class Figret(TrainerBackedScheme):
         path_set: Candidate paths.
         config: Training hyper-parameters.  ``robustness_weight`` controls the
             strength of the fine-grained robustness term (the paper's L2).
+        cache: Optimal-MLU cache for the training normalisers (the process-
+            wide shared cache by default).
+        lp_workers: Optional process-pool width for the normaliser solves.
 
     Example:
         >>> scheme = Figret(path_set, TrainingConfig(epochs=10))
@@ -37,9 +41,17 @@ class Figret(TrainerBackedScheme):
         >>> config = scheme.configure(recent_history)
     """
 
-    def __init__(self, path_set: PathSet, config: TrainingConfig | None = None) -> None:
+    def __init__(
+        self,
+        path_set: PathSet,
+        config: TrainingConfig | None = None,
+        cache: OptimalMLUCache | None = None,
+        lp_workers: int | str | None = None,
+    ) -> None:
         super().__init__(path_set, name="FIGRET")
         self.config = config or TrainingConfig()
+        self.cache = cache
+        self.lp_workers = lp_workers
         self.training_history: TrainingHistory | None = None
         self.pair_variance: np.ndarray | None = None
 
@@ -47,7 +59,11 @@ class Figret(TrainerBackedScheme):
         """Measure per-pair variance and train the network."""
         self.pair_variance = train_sequence.pair_variance()
         self._trainer = Trainer(
-            self.path_set, self.config, pair_variance=self.pair_variance
+            self.path_set,
+            self.config,
+            pair_variance=self.pair_variance,
+            cache=self.cache,
+            lp_workers=self.lp_workers,
         )
         self.training_history = self._trainer.fit(train_sequence)
 

@@ -30,7 +30,7 @@ from repro.core.loss import TELoss
 from repro.core.model import FigretNet
 from repro.nn import Adam, Tensor
 from repro.paths.path_set import PathSet
-from repro.solvers.lp import omniscient_mlu
+from repro.solvers.lp import OptimalMLUCache, shared_cache
 from repro.te.config import TEConfiguration
 from repro.te.scheme import TEScheme
 from repro.traffic.matrix import TrafficMatrixSequence
@@ -45,12 +45,23 @@ class TealLike(TEScheme):
         path_set: Candidate paths.
         config: Training hyper-parameters (``history_len`` is forced to 1 and
             the robustness term is disabled).
+        cache: Optimal-MLU cache serving the training-time normalisers (the
+            process-wide :func:`~repro.solvers.lp.shared_cache` by default).
+        lp_workers: Optional process-pool width for the normaliser solves.
     """
 
-    def __init__(self, path_set: PathSet, config: TrainingConfig | None = None) -> None:
+    def __init__(
+        self,
+        path_set: PathSet,
+        config: TrainingConfig | None = None,
+        cache: OptimalMLUCache | None = None,
+        lp_workers: int | str | None = None,
+    ) -> None:
         super().__init__(path_set, name="TEAL-like")
         base = config or TrainingConfig()
         self.config = base.replace(history_len=1, robustness_weight=0.0)
+        self.cache = cache
+        self.lp_workers = lp_workers
         self._model: FigretNet | None = None
         self._loss: TELoss | None = None
         self._input_scale = 1.0
@@ -63,7 +74,10 @@ class TealLike(TEScheme):
         scaled = demands / self._input_scale
         optimal = None
         if config.normalize_by_optimal:
-            optimal = np.array([omniscient_mlu(self.path_set, d) for d in demands])
+            cache = self.cache if self.cache is not None else shared_cache()
+            optimal = cache.optimal_mlus(
+                self.path_set, demands, workers=self.lp_workers
+            )
 
         self._model = FigretNet(
             self.path_set,

@@ -16,7 +16,7 @@ from repro.core.loss import TELoss
 from repro.core.model import FigretNet
 from repro.nn import Adam, Tensor, clip_gradient_norm
 from repro.paths.path_set import PathSet
-from repro.solvers.lp import omniscient_mlu
+from repro.solvers.lp import OptimalMLUCache, shared_cache
 from repro.te.config import TEConfiguration
 from repro.te.scheme import TEScheme
 from repro.traffic.matrix import TrafficMatrixSequence
@@ -104,6 +104,10 @@ class Trainer:
         config: Training hyper-parameters.
         pair_variance: Per-pair demand variance of the training period (used
             by the sensitivity loss when ``config.robustness_weight > 0``).
+        cache: Optimal-MLU cache serving the training-time normalisers (the
+            process-wide :func:`~repro.solvers.lp.shared_cache` by default,
+            so a later evaluation of the same demands is pure cache hits).
+        lp_workers: Optional process-pool width for the normaliser solves.
     """
 
     def __init__(
@@ -111,9 +115,13 @@ class Trainer:
         path_set: PathSet,
         config: TrainingConfig,
         pair_variance: np.ndarray | None = None,
+        cache: OptimalMLUCache | None = None,
+        lp_workers: int | str | None = None,
     ) -> None:
         self.path_set = path_set
         self.config = config
+        self.cache = cache
+        self.lp_workers = lp_workers
         self.model = FigretNet(
             path_set,
             history_len=config.history_len,
@@ -143,8 +151,13 @@ class Trainer:
 
         optimal = None
         if config.normalize_by_optimal:
-            optimal = np.array(
-                [omniscient_mlu(self.path_set, target) for target in targets]
+            # Normalisers come from the shared LP cache in one batched call:
+            # values are bit-identical to per-target ``omniscient_mlu`` calls
+            # (same solver, same 1e-12 floor), and the entries stay cached
+            # for the evaluation replay of the same demands.
+            cache = self.cache if self.cache is not None else shared_cache()
+            optimal = cache.optimal_mlus(
+                self.path_set, targets, workers=self.lp_workers
             )
 
         rng = np.random.default_rng(config.seed)

@@ -1,12 +1,13 @@
 """Evaluation harness: metrics, scheme runner, timing, and report formatting."""
 
 from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics, severe_congestion_fraction
-from repro.evaluation.engine import EvaluationEngine, build_history_windows
+from repro.evaluation.engine import EvaluationEngine, build_history_windows, iter_window_chunks
 from repro.evaluation.runner import (
     EvaluationResult,
     compute_optimal_mlus,
     default_engine,
     evaluate_scheme,
+    evaluate_scheme_streaming,
     compare_schemes,
     fluctuation_experiment,
     drift_experiment,
@@ -21,10 +22,12 @@ __all__ = [
     "severe_congestion_fraction",
     "EvaluationEngine",
     "build_history_windows",
+    "iter_window_chunks",
     "default_engine",
     "EvaluationResult",
     "compute_optimal_mlus",
     "evaluate_scheme",
+    "evaluate_scheme_streaming",
     "compare_schemes",
     "fluctuation_experiment",
     "drift_experiment",

@@ -16,14 +16,18 @@ workloads in one long-running process.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
 
 from repro.evaluation.engine import (
+    DEFAULT_CHUNK_SIZE,
     EvaluationEngine,
     EvaluationResult,
     build_history_windows,
 )
 from repro.paths.path_set import PathSet
+from repro.solvers.lp import shared_cache
 from repro.te.scheme import TEScheme
 from repro.traffic.matrix import TrafficMatrixSequence
 
@@ -33,14 +37,16 @@ __all__ = [
     "default_engine",
     "compute_optimal_mlus",
     "evaluate_scheme",
+    "evaluate_scheme_streaming",
     "compare_schemes",
     "fluctuation_experiment",
     "drift_experiment",
     "failure_experiment",
 ]
 
-#: Process-wide engine: one LP-result cache shared by every experiment.
-_DEFAULT_ENGINE = EvaluationEngine()
+#: Process-wide engine, built on the process-wide LP-result cache -- the same
+#: cache the trainers populate, so train + eval never solve one LP twice.
+_DEFAULT_ENGINE = EvaluationEngine(cache=shared_cache())
 
 
 def default_engine() -> EvaluationEngine:
@@ -84,6 +90,32 @@ def evaluate_scheme(
         scheme,
         test_sequence,
         history_len,
+        optimal_mlus=optimal_mlus,
+        oracle_demand=oracle_demand,
+    )
+
+
+def evaluate_scheme_streaming(
+    scheme: TEScheme,
+    demand_stream: TrafficMatrixSequence | np.ndarray | Iterable,
+    history_len: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    optimal_mlus: np.ndarray | None = None,
+    oracle_demand: bool = False,
+    engine: EvaluationEngine | None = None,
+) -> EvaluationResult:
+    """Replay a scheme over an out-of-core trace in O(chunk) memory.
+
+    Accepts the test trace as a sequence, a flat demand array, or any
+    iterable of per-interval demand vectors; see
+    :meth:`EvaluationEngine.evaluate_streaming`.  Results equal the batch
+    path to 1e-9.
+    """
+    return (engine or _DEFAULT_ENGINE).evaluate_streaming(
+        scheme,
+        demand_stream,
+        history_len,
+        chunk_size=chunk_size,
         optimal_mlus=optimal_mlus,
         oracle_demand=oracle_demand,
     )

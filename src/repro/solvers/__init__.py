@@ -5,6 +5,9 @@ from repro.solvers.lp import (
     solve_mlu_lp_batch,
     omniscient_mlu,
     OptimalMLUCache,
+    shared_cache,
+    default_lp_workers,
+    lp_solve_calls,
     MLUConstraintStructure,
     constraint_structure,
     OmniscientTE,
@@ -20,6 +23,9 @@ __all__ = [
     "solve_mlu_lp_batch",
     "omniscient_mlu",
     "OptimalMLUCache",
+    "shared_cache",
+    "default_lp_workers",
+    "lp_solve_calls",
     "MLUConstraintStructure",
     "constraint_structure",
     "OmniscientTE",

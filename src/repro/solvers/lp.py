@@ -11,8 +11,9 @@ minimise the maximum link utilisation are the solution of the LP:
 This module provides the raw solver (:func:`solve_mlu_lp`), a batched variant
 (:func:`solve_mlu_lp_batch`) with optional process-pool fan-out, the
 omniscient benchmark used to normalise every MLU the paper reports
-(:func:`omniscient_mlu`), a cache for those normalisers
-(:class:`OptimalMLUCache`), and the two simplest schemes built directly on
+(:func:`omniscient_mlu`), a disk-persistable cache for those normalisers
+(:class:`OptimalMLUCache`, with a process-wide instance via
+:func:`shared_cache`), and the two simplest schemes built directly on
 the LP: :class:`OmniscientTE` (perfect knowledge of the next demand) and
 :class:`PredictionBasedTE` (solve for a demand predicted from history).
 
@@ -25,10 +26,17 @@ shared by every subsequent solve.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
+import json
+import os
+import pickle
+import warnings
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 
 import numpy as np
 from scipy import sparse
@@ -46,6 +54,10 @@ __all__ = [
     "solve_mlu_lp_batch",
     "omniscient_mlu",
     "OptimalMLUCache",
+    "shared_cache",
+    "default_lp_workers",
+    "resolve_lp_workers",
+    "lp_solve_calls",
     "OmniscientTE",
     "PredictionBasedTE",
     "predict_demand",
@@ -54,6 +66,31 @@ __all__ = [
 
 class LPSolveError(RuntimeError):
     """Raised when the LP solver fails to find an optimal solution."""
+
+
+#: Raw LP solve counter (this process only); see :func:`lp_solve_calls`.
+_LP_SOLVE_CALLS = 0
+
+
+def lp_solve_calls() -> int:
+    """Number of raw MLU LP solves performed so far in this process.
+
+    Process-pool workers count in their own processes, so with ``workers``
+    set the parent's counter only reflects in-process solves.  The cache
+    round-trip tests use this to assert that a warm persistent cache performs
+    *zero* new solves.
+    """
+    return _LP_SOLVE_CALLS
+
+
+def default_lp_workers(cap: int = 8) -> int:
+    """Process-pool width derived from the machine's CPU count.
+
+    Leaves one core for the parent process and caps the width: LP batches
+    are short-lived, so very wide pools pay more in pickling/startup than
+    they win back.  Returns 1 (sequential) on single-core machines.
+    """
+    return max(1, min(cap, (os.cpu_count() or 1) - 1))
 
 
 class MLUConstraintStructure:
@@ -211,6 +248,8 @@ def solve_mlu_lp(
     Raises:
         LPSolveError: If the LP is infeasible or the solver fails.
     """
+    global _LP_SOLVE_CALLS
+    _LP_SOLVE_CALLS += 1
     structure = constraint_structure(path_set)
     num_paths = path_set.num_paths
     upper = _ratio_upper_bounds(path_set, sensitivity_caps, path_mask)
@@ -242,19 +281,68 @@ def _solve_batch_chunk(args) -> list[tuple[np.ndarray, float]]:
     return out
 
 
+#: Long-lived process pools keyed by width, reused across batch calls so a
+#: streaming replay does not pay pool startup once per chunk.
+_POOL_CACHE: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shutdown_pools() -> None:
+    for pool in _POOL_CACHE.values():
+        try:
+            pool.shutdown(cancel_futures=True)
+        except Exception:
+            pass
+    _POOL_CACHE.clear()
+
+
+atexit.register(_shutdown_pools)
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    pool = _POOL_CACHE.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOL_CACHE[workers] = pool
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    pool = _POOL_CACHE.pop(workers, None)
+    if pool is not None:
+        try:
+            pool.shutdown(cancel_futures=True)
+        except Exception:
+            pass
+
+
+def resolve_lp_workers(workers: int | str | None) -> int | None:
+    """Normalise a ``workers`` argument (``None`` / int / ``"auto"``)."""
+    if workers == "auto":
+        return default_lp_workers()
+    if isinstance(workers, str):
+        raise ValueError(f"workers must be an int, None, or 'auto', got {workers!r}")
+    return workers
+
+
 def solve_mlu_lp_batch(
     path_set: PathSet,
     demands: np.ndarray,
     sensitivity_caps: np.ndarray | None = None,
     path_mask: np.ndarray | None = None,
-    workers: int | None = None,
+    workers: int | str | None = None,
 ) -> list[tuple[TEConfiguration, float]]:
     """Solve the MLU LP for every row of a ``(T, num_sd_pairs)`` demand array.
 
-    The solves are independent, so with ``workers`` set they fan out over a
-    process pool (each worker rebuilds the constraint structure once per
-    chunk, then reuses it).  With ``workers=None`` (default) the solves run
-    sequentially in-process, still sharing one precomputed structure.
+    The solves are independent, so with ``workers`` set (an int, or
+    ``"auto"`` for an ``os.cpu_count()``-derived width) they fan out over a
+    long-lived process pool shared by all batch calls of that width (each
+    worker rebuilds the constraint structure once per chunk, then reuses
+    it).  With ``workers=None`` (default) the solves run sequentially
+    in-process, still sharing one precomputed structure.  When the pool
+    cannot be used at all -- the path set fails to pickle, process spawning
+    is forbidden by the sandbox, or the pool dies -- the batch falls back to
+    the sequential path and a single :class:`RuntimeWarning` is emitted for
+    the whole process instead of failing (or silently degrading).
 
     Returns:
         A list of ``(configuration, optimal MLU)`` tuples, one per demand row.
@@ -262,21 +350,49 @@ def solve_mlu_lp_batch(
     demands = np.asarray(demands, dtype=float)
     if demands.ndim == 1:
         demands = demands[None, :]
+    workers = resolve_lp_workers(workers)
     if workers is not None and workers > 1 and len(demands) > 1:
         num_chunks = min(workers, len(demands))
         chunks = np.array_split(demands, num_chunks)
         jobs = [(path_set, chunk, sensitivity_caps, path_mask) for chunk in chunks]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunk_results = list(pool.map(_solve_batch_chunk, jobs))
-        return [
-            (TEConfiguration(path_set, ratios, normalize=False), mlu)
-            for chunk in chunk_results
-            for ratios, mlu in chunk
-        ]
+        try:
+            chunk_results = list(_pool(workers).map(_solve_batch_chunk, jobs))
+        except (
+            pickle.PicklingError,
+            AttributeError,  # unpicklable locals raise this from pickle
+            TypeError,  # "cannot pickle ..." surfaces as TypeError too
+            BrokenProcessPool,
+            OSError,  # includes PermissionError from sandboxed spawns
+        ) as exc:
+            _discard_pool(workers)
+            _warn_pool_fallback(exc)
+        else:
+            return [
+                (TEConfiguration(path_set, ratios, normalize=False), mlu)
+                for chunk in chunk_results
+                for ratios, mlu in chunk
+            ]
     return [
         solve_mlu_lp(path_set, demand, sensitivity_caps, path_mask)
         for demand in demands
     ]
+
+
+_POOL_FALLBACK_WARNED = False
+
+
+def _warn_pool_fallback(exc: BaseException) -> None:
+    """Warn (once per process) that LP batches run sequentially."""
+    global _POOL_FALLBACK_WARNED
+    if _POOL_FALLBACK_WARNED:
+        return
+    _POOL_FALLBACK_WARNED = True
+    warnings.warn(
+        f"process-pool LP batch failed ({exc!r}); solving sequentially "
+        "in-process from now on (results are identical, just slower)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def omniscient_mlu(path_set: PathSet, demand_vector: np.ndarray) -> float:
@@ -290,35 +406,200 @@ def omniscient_mlu(path_set: PathSet, demand_vector: np.ndarray) -> float:
     return max(mlu, 1e-12)
 
 
+#: On-disk format marker of the persistent cache (see :class:`OptimalMLUCache`).
+CACHE_FILE_FORMAT = "repro-optimal-mlu-cache"
+#: Bump to invalidate every existing cache file (e.g. if the LP, the floor,
+#: or the key derivation changes in a way that alters cached values).
+CACHE_FILE_VERSION = 1
+
+
+def _flush_cache_ref(ref: "weakref.ref[OptimalMLUCache]") -> None:
+    """atexit hook: flush a still-alive persistent cache (never raises)."""
+    cache = ref()
+    if cache is None:
+        return
+    try:
+        # Only write if something is actually pending, so an already-flushed
+        # cache whose directory has since been cleaned up (tmp dirs in tests)
+        # is not resurrected at interpreter exit.
+        if cache._unflushed or cache._needs_rewrite:
+            cache.flush()
+    except Exception:  # interpreter shutdown is no place for tracebacks
+        pass
+
+
 class OptimalMLUCache:
-    """Memoises omniscient-optimal MLUs across experiments.
+    """Memoises omniscient-optimal MLUs across experiments and sessions.
 
     Entries are keyed by ``(path-set fingerprint, demand hash, mask hash)``,
     so structurally identical path sets share entries and the cache survives
     the path-set object itself.  Values carry the same ``1e-12`` floor as
     :func:`omniscient_mlu` so they can be used as normalisers directly.
 
+    With ``path`` set the cache is **disk-persistent**: existing entries are
+    loaded on construction and new ones are appended to the file by
+    :meth:`flush` (called automatically at interpreter exit, on
+    ``with``-block exit, and by :meth:`close`).  The store is an append-only
+    JSON-lines file whose first line is a versioned header; a file with a
+    mismatched version or corrupt content is ignored with a warning (cold
+    solves, never a crash) and rewritten wholesale on the next flush.
+
     Args:
-        max_entries: Oldest entries are evicted beyond this size (the values
-            are floats, so the default allows millions of cached solves).
+        max_entries: Oldest entries are evicted from *memory* beyond this
+            size (the values are floats, so the default allows millions of
+            cached solves).  Already-flushed entries stay on disk.
+        path: Optional location of the persistent store.  Parent directories
+            are created on flush.
     """
 
-    def __init__(self, max_entries: int = 1_000_000) -> None:
+    def __init__(
+        self,
+        max_entries: int = 1_000_000,
+        path: str | os.PathLike | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple[str, str, str], float] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.path = Path(path).expanduser() if path is not None else None
+        self.loaded = 0
+        self._unflushed: list[tuple[tuple[str, str, str], float]] = []
+        self._needs_rewrite = False
+        if self.path is not None:
+            self._load()
+            # A weakref keeps short-lived caches collectable; a dead ref
+            # makes the exit hook a no-op.
+            atexit.register(_flush_cache_ref, weakref.ref(self))
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __enter__(self) -> "OptimalMLUCache":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.flush()
+
     def clear(self) -> None:
-        """Drop every cached entry and reset the hit/miss counters."""
+        """Drop every cached entry and reset the hit/miss counters.
+
+        On a persistent cache the on-disk store is truncated to match at the
+        next :meth:`flush`.
+        """
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self._unflushed.clear()
+        if self.path is not None:
+            self._needs_rewrite = True
+
+    # ------------------------------------------------------------------ #
+    # Disk persistence
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        """Read the persistent store, tolerating missing/corrupt files."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            warnings.warn(
+                f"could not read optimal-MLU cache {self.path} ({exc}); "
+                "starting cold",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return
+        if not lines:
+            self._needs_rewrite = True
+            return
+        try:
+            header = json.loads(lines[0])
+            compatible = (
+                isinstance(header, dict)
+                and header.get("format") == CACHE_FILE_FORMAT
+                and header.get("version") == CACHE_FILE_VERSION
+            )
+        except ValueError:
+            compatible = False
+        if not compatible:
+            warnings.warn(
+                f"ignoring optimal-MLU cache {self.path}: unrecognised or "
+                f"version-mismatched header (expected {CACHE_FILE_FORMAT} "
+                f"v{CACHE_FILE_VERSION}); starting cold",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._needs_rewrite = True
+            return
+        bad_lines = 0
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                fingerprint, demand_key, mask_key, value = json.loads(line)
+                entry_key = (str(fingerprint), str(demand_key), str(mask_key))
+                entry_value = float(value)
+            except (ValueError, TypeError):
+                # A partially written trailing line (crash mid-append) or
+                # hand-edited junk: keep the good entries, compact the file
+                # on the next flush.
+                bad_lines += 1
+                continue
+            self._entries[entry_key] = entry_value
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        self.loaded = len(self._entries)
+        if bad_lines:
+            warnings.warn(
+                f"optimal-MLU cache {self.path}: skipped {bad_lines} corrupt "
+                f"line(s), kept {self.loaded} entries",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._needs_rewrite = True
+
+    @staticmethod
+    def _entry_line(key: tuple[str, str, str], value: float) -> str:
+        return json.dumps([key[0], key[1], key[2], value])
+
+    def flush(self) -> None:
+        """Write new entries to the persistent store (no-op when in-memory).
+
+        Appends only what changed since the last flush; a missing, corrupt,
+        or version-mismatched file is rewritten from scratch (atomically, via
+        a temp file) so the store always ends up in the current format.
+        """
+        if self.path is None:
+            return
+        if self._needs_rewrite or not self.path.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            temp = self.path.with_name(self.path.name + ".tmp")
+            with open(temp, "w", encoding="utf-8") as handle:
+                header = {"format": CACHE_FILE_FORMAT, "version": CACHE_FILE_VERSION}
+                handle.write(json.dumps(header) + "\n")
+                for key, value in self._entries.items():
+                    handle.write(self._entry_line(key, value) + "\n")
+                # Entries solved since the last flush but already evicted
+                # from memory must still be persisted (the append branch
+                # would have written them).
+                for key, value in self._unflushed:
+                    if key not in self._entries:
+                        handle.write(self._entry_line(key, value) + "\n")
+            os.replace(temp, self.path)
+            self._needs_rewrite = False
+        elif self._unflushed:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                for key, value in self._unflushed:
+                    handle.write(self._entry_line(key, value) + "\n")
+        self._unflushed.clear()
+
+    def close(self) -> None:
+        """Flush pending entries (kept for symmetry with file-like objects)."""
+        self.flush()
 
     @staticmethod
     def _mask_key(path_mask: np.ndarray | None) -> str:
@@ -336,6 +617,8 @@ class OptimalMLUCache:
 
     def _store(self, key: tuple[str, str, str], value: float) -> None:
         self._entries[key] = value
+        if self.path is not None:
+            self._unflushed.append((key, value))
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
@@ -363,7 +646,7 @@ class OptimalMLUCache:
         path_set: PathSet,
         demands: np.ndarray,
         path_mask: np.ndarray | None = None,
-        workers: int | None = None,
+        workers: int | str | None = None,
     ) -> np.ndarray:
         """Cached omniscient MLUs for every row of a ``(T, pairs)`` array.
 
@@ -402,6 +685,25 @@ class OptimalMLUCache:
                 self._store(key, value)
                 values[indices] = value
         return values
+
+
+_SHARED_CACHE: OptimalMLUCache | None = None
+
+
+def shared_cache() -> OptimalMLUCache:
+    """The process-wide optimal-MLU cache.
+
+    Training (:class:`~repro.core.trainer.Trainer`,
+    :class:`~repro.core.teal_like.TealLike`) and the default evaluation
+    engine all draw their omniscient normalisers from this one cache, so a
+    demand matrix is never LP-solved twice in a process -- not even once by
+    ``fit`` and once more by the subsequent replay.  Pass an explicit cache
+    (or engine) to isolate workloads instead.
+    """
+    global _SHARED_CACHE
+    if _SHARED_CACHE is None:
+        _SHARED_CACHE = OptimalMLUCache()
+    return _SHARED_CACHE
 
 
 def predict_demand(history: np.ndarray, strategy: str = "last") -> np.ndarray:

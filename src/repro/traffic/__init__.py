@@ -5,11 +5,12 @@ from repro.traffic.gravity import gravity_matrix, GravityTrafficGenerator
 from repro.traffic.wan import GeantLikeGenerator
 from repro.traffic.bursty import DataCenterTrafficGenerator
 from repro.traffic.pfabric import PFabricTrafficGenerator
-from repro.traffic.windows import build_history_windows
+from repro.traffic.windows import build_history_windows, iter_window_chunks
 from repro.traffic import perturb, stats
 
 __all__ = [
     "build_history_windows",
+    "iter_window_chunks",
     "TrafficMatrix",
     "TrafficMatrixSequence",
     "gravity_matrix",

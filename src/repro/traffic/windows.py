@@ -2,16 +2,21 @@
 
 One stride-tricks view serves both consumers of windowed demands: the
 trainer's supervised (window, target) pairs and the evaluation engine's
-batched replay.  Living in the traffic layer keeps the dependency direction
-clean -- both ``core`` and ``evaluation`` sit above ``traffic``.
+batched replay.  :func:`iter_window_chunks` chunks the same windows for the
+engine's streaming mode, buffering only ``history_len + chunk_size`` demand
+rows at a time so month-long traces replay in O(chunk) memory.  Living in
+the traffic layer keeps the dependency direction clean -- both ``core`` and
+``evaluation`` sit above ``traffic``.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
+
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-__all__ = ["build_history_windows"]
+__all__ = ["build_history_windows", "iter_window_chunks"]
 
 
 def build_history_windows(
@@ -50,3 +55,95 @@ def build_history_windows(
     targets = flat[history_len:]
     windows = swept if oracle_demand else swept[: len(targets)]
     return windows, targets
+
+
+def iter_window_chunks(
+    demands: np.ndarray | Iterable[np.ndarray],
+    history_len: int,
+    chunk_size: int,
+    oracle_demand: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray, int]]:
+    """Yield the evaluation windows of a trace in bounded-memory chunks.
+
+    Concatenating the chunks reproduces :func:`build_history_windows` of the
+    whole trace exactly -- in particular, windows whose history spans a chunk
+    boundary are identical to their whole-trace counterparts, because each
+    chunk carries the ``history_len`` rows preceding its first target.
+
+    Args:
+        demands: Either a ``(len(trace), num_sd_pairs)`` demand array (chunks
+            are stride-tricks views, no copies) or *any* iterable of per-
+            interval demand vectors -- e.g. rows streamed from disk.  On the
+            iterable path at most ``history_len + chunk_size`` rows are held
+            in memory at once, which is what lets arbitrarily long traces
+            replay out-of-core.
+        history_len: Number of recent demand vectors per window.
+        chunk_size: Maximum number of evaluation intervals per chunk.
+        oracle_demand: As in :func:`build_history_windows`.
+
+    Yields:
+        ``(windows, targets, start)`` triples where ``start`` is the index of
+        the chunk's first evaluation interval (``windows[0]`` is the window
+        of interval ``start``, i.e. rows ``start .. start + H - 1`` of the
+        trace) and ``windows`` / ``targets`` are exactly rows
+        ``start : start + len(targets)`` of the whole-trace arrays.
+
+    Raises:
+        ValueError: If the trace has no evaluation interval (length <=
+            ``history_len``) or an argument is out of range.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    if history_len < 1:
+        raise ValueError("history must be at least 1")
+
+    if isinstance(demands, np.ndarray) and demands.ndim == 2:
+        flat = np.ascontiguousarray(np.asarray(demands, dtype=float))
+        if len(flat) <= history_len:
+            raise ValueError("test sequence is shorter than the history window")
+        total = len(flat) - history_len
+        for start in range(0, total, chunk_size):
+            stop = min(start + chunk_size, total)
+            block = flat[start : stop + history_len]
+            windows, targets = build_history_windows(
+                block, history_len, oracle_demand=oracle_demand
+            )
+            yield windows, targets, start
+        return
+
+    # Streaming path: a rolling buffer of at most H + chunk_size rows.
+    buffer: list[np.ndarray] = []
+    width: int | None = None
+    start = 0
+    for row in demands:
+        vector = np.asarray(row, dtype=float)
+        if vector.ndim != 1:
+            raise ValueError(
+                "streamed demand rows must be 1-D vectors, got shape "
+                f"{vector.shape}"
+            )
+        if width is None:
+            width = vector.shape[0]
+        elif vector.shape[0] != width:
+            raise ValueError(
+                f"streamed demand rows must all have {width} entries, got "
+                f"{vector.shape[0]}"
+            )
+        buffer.append(vector)
+        if len(buffer) == history_len + chunk_size:
+            block = np.stack(buffer)
+            windows, targets = build_history_windows(
+                block, history_len, oracle_demand=oracle_demand
+            )
+            yield windows, targets, start
+            start += len(targets)
+            # The last H rows are the history of the next chunk's first target.
+            buffer = buffer[-history_len:]
+    if len(buffer) > history_len:
+        block = np.stack(buffer)
+        windows, targets = build_history_windows(
+            block, history_len, oracle_demand=oracle_demand
+        )
+        yield windows, targets, start
+    elif start == 0:
+        raise ValueError("test sequence is shorter than the history window")

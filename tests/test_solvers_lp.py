@@ -158,3 +158,96 @@ class TestSchemes:
         burst[0] *= 10.0
         achieved = max_link_utilization(mesh4_paths, config, burst)
         assert achieved > omniscient_mlu(mesh4_paths, burst) * 1.05
+
+
+class TestProcessPoolFallback:
+    """A broken process pool degrades to sequential solves with ONE warning."""
+
+    @pytest.fixture()
+    def broken_pool(self, monkeypatch):
+        import pickle
+
+        from repro.solvers import lp as lp_module
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, jobs):
+                raise pickle.PicklingError("cannot pickle the path set")
+
+        monkeypatch.setattr(lp_module, "ProcessPoolExecutor", ExplodingPool)
+        # Isolate the long-lived pool cache: a real pool created by an
+        # earlier test must not serve this batch, and the exploding pool
+        # must not leak to later tests.
+        monkeypatch.setattr(lp_module, "_POOL_CACHE", {})
+        monkeypatch.setattr(lp_module, "_POOL_FALLBACK_WARNED", False)
+        return lp_module
+
+    def test_fallback_warns_once_and_matches_sequential(
+        self, broken_pool, mesh4_paths, rng
+    ):
+        from repro.solvers.lp import solve_mlu_lp_batch
+
+        demands = rng.random((4, mesh4_paths.num_sd_pairs)) + 0.1
+        sequential = solve_mlu_lp_batch(mesh4_paths, demands)
+        with pytest.warns(RuntimeWarning, match="process-pool LP batch failed"):
+            pooled = solve_mlu_lp_batch(mesh4_paths, demands, workers=2)
+        for (expected_config, expected_mlu), (config, mlu) in zip(sequential, pooled):
+            assert mlu == pytest.approx(expected_mlu, abs=1e-9)
+            np.testing.assert_allclose(
+                config.split_ratios, expected_config.split_ratios, atol=1e-9
+            )
+        # The warning fires once per process, not once per batch.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            again = solve_mlu_lp_batch(mesh4_paths, demands, workers=2)
+        assert [mlu for _, mlu in again] == [mlu for _, mlu in pooled]
+
+    def test_counter_increments_on_fallback_solves(self, broken_pool, mesh4_paths, rng):
+        from repro.solvers.lp import lp_solve_calls, solve_mlu_lp_batch
+
+        demands = rng.random((3, mesh4_paths.num_sd_pairs)) + 0.1
+        before = lp_solve_calls()
+        with pytest.warns(RuntimeWarning):
+            solve_mlu_lp_batch(mesh4_paths, demands, workers=2)
+        assert lp_solve_calls() == before + len(demands)
+
+
+class TestAutoWorkers:
+    """'auto' is a valid workers value at every layer, not just the engine."""
+
+    def test_batch_solver_accepts_auto(self, mesh4_paths, rng):
+        from repro.solvers.lp import solve_mlu_lp_batch
+
+        demands = rng.random((3, mesh4_paths.num_sd_pairs)) + 0.1
+        auto = solve_mlu_lp_batch(mesh4_paths, demands, workers="auto")
+        sequential = solve_mlu_lp_batch(mesh4_paths, demands)
+        for (_, expected), (_, mlu) in zip(sequential, auto):
+            assert mlu == pytest.approx(expected, abs=1e-9)
+
+    def test_cache_and_trainer_accept_auto(self, mesh4_paths, rng):
+        from repro.solvers.lp import OptimalMLUCache
+
+        demands = rng.random((2, mesh4_paths.num_sd_pairs)) + 0.1
+        values = OptimalMLUCache().optimal_mlus(mesh4_paths, demands, workers="auto")
+        assert np.isfinite(values).all()
+
+    def test_other_strings_rejected(self, mesh4_paths, rng):
+        from repro.solvers.lp import resolve_lp_workers
+
+        with pytest.raises(ValueError, match="auto"):
+            resolve_lp_workers("many")
+
+    def test_default_lp_workers_positive(self):
+        from repro.solvers.lp import default_lp_workers
+
+        assert default_lp_workers() >= 1
