@@ -12,14 +12,21 @@ records the scaling factors alongside the paper's original settings.
 
 from __future__ import annotations
 
+import datetime
+import json
+import os
+import platform
+from pathlib import Path
+
 import numpy as np
 
 from repro import datasets
+from repro.backend import active_backend
 from repro.core import Dote, Figret, TealLike, TrainingConfig
 from repro.evaluation import evaluate_scheme
 from repro.evaluation.engine import EvaluationEngine
 from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
-from repro.solvers.lp import shared_cache
+from repro.solvers.lp import resolve_lp_workers, shared_cache
 
 #: Seed used by every benchmark scenario (results are deterministic).
 BENCH_SEED = 7
@@ -163,3 +170,65 @@ def stats_row(name: str, stats: MLUStatistics) -> list[str]:
 def summarize(series: np.ndarray) -> MLUStatistics:
     """Shortcut used by benches that build their own normalised series."""
     return normalized_mlu_statistics(series)
+
+
+# --------------------------------------------------------------------- #
+# Machine-readable benchmark records (the BENCH_*.json artifacts)
+# --------------------------------------------------------------------- #
+
+#: On-disk format marker / version of the benchmark records.
+BENCH_RECORD_FORMAT = "repro-bench-record"
+BENCH_RECORD_VERSION = 1
+
+
+def bench_output_dir() -> Path:
+    """Directory the ``BENCH_*.json`` records are written to.
+
+    The repository root by default (CI uploads ``BENCH_*.json`` from there
+    as a workflow artifact); override with ``REPRO_BENCH_DIR``.
+    """
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        return Path(override).expanduser()
+    return Path(__file__).resolve().parent.parent
+
+
+def write_bench_record(
+    name: str,
+    lp_workers: int | str | None = None,
+    **metrics,
+) -> Path:
+    """Write one machine-readable ``BENCH_<name>.json`` benchmark record.
+
+    Every record carries the context needed to compare runs over time --
+    array backend, LP worker width, python version -- plus the bench's own
+    metrics (solves/sec, replay wall-times, speedups, ...).  The CI
+    benchmark-regression job uploads these files as artifacts, so the perf
+    trajectory of the replay engine is tracked per commit instead of living
+    only in prose.
+
+    Args:
+        name: Bench identifier (becomes the ``BENCH_<name>.json`` filename).
+        lp_workers: LP process-pool width the bench ran with (resolved, so
+            ``"auto"`` records the actual width).
+        **metrics: JSON-serialisable measurement values.
+
+    Returns:
+        The path written.
+    """
+    record = {
+        "format": BENCH_RECORD_FORMAT,
+        "version": BENCH_RECORD_VERSION,
+        "bench": name,
+        "backend": active_backend().name,
+        "lp_workers": resolve_lp_workers(lp_workers),
+        "python": platform.python_version(),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "metrics": metrics,
+    }
+    path = bench_output_dir() / f"BENCH_{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -25,7 +25,7 @@ import pytest
 
 import bench_common as common
 from repro.evaluation.engine import EvaluationEngine
-from repro.solvers.lp import OptimalMLUCache, lp_solve_calls, omniscient_mlu
+from repro.solvers.lp import OptimalMLUCache, count_lp_solves, omniscient_mlu
 from repro.te.mlu import max_link_utilization
 
 SCENARIO = "geant_small"
@@ -82,9 +82,10 @@ def test_engine_replay_speedup(benchmark):
         # fluctuation experiment) vs the shared cache after one priming
         # pass. ---
         start = time.perf_counter()
-        fresh = np.array(
-            [omniscient_mlu(scenario.paths, demand) for demand in flat[history_len:]]
-        )
+        with count_lp_solves() as fresh_tally:
+            fresh = np.array(
+                [omniscient_mlu(scenario.paths, demand) for demand in flat[history_len:]]
+            )
         fresh_lp_seconds = time.perf_counter() - start
 
         engine.optimal_mlus(scenario.paths, flat[history_len:])  # prime
@@ -100,6 +101,8 @@ def test_engine_replay_speedup(benchmark):
             "sequential_seconds": sequential_seconds,
             "batched_seconds": batched_seconds,
             "fresh_lp_seconds": fresh_lp_seconds,
+            "fresh_lp_solves": fresh_tally.count,
+            "lp_solves_per_second": fresh_tally.count / fresh_lp_seconds,
             "cached_lp_seconds": cached_lp_seconds,
             "cache_hits": engine.cache.hits,
             "cache_misses": engine.cache.misses,
@@ -107,6 +110,7 @@ def test_engine_replay_speedup(benchmark):
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["results"] = outcome
+    common.write_bench_record("engine_replay", **outcome)
     print()
     print(
         f"batched replay speedup: {outcome['replay_speedup']:.1f}x "
@@ -147,12 +151,12 @@ def test_persistent_cache_skips_second_session(benchmark, tmp_path):
 
         # Session 2: a fresh cache object (simulating a new process) loads
         # the store; the replay must perform zero omniscient LP solves.
-        solves_before = lp_solve_calls()
         start = time.perf_counter()
-        warm_cache = OptimalMLUCache(path=cache_file)
-        warm = EvaluationEngine(cache=warm_cache).evaluate_scheme(
-            dote, sliced, history_len
-        )
+        with count_lp_solves() as warm_tally:
+            warm_cache = OptimalMLUCache(path=cache_file)
+            warm = EvaluationEngine(cache=warm_cache).evaluate_scheme(
+                dote, sliced, history_len
+            )
         warm_seconds = time.perf_counter() - start
         np.testing.assert_allclose(warm.normalized_mlus, cold.normalized_mlus, atol=1e-9)
         return {
@@ -162,11 +166,12 @@ def test_persistent_cache_skips_second_session(benchmark, tmp_path):
             "cold_misses": cold_misses,
             "loaded_entries": warm_cache.loaded,
             "warm_misses": warm_cache.misses,
-            "warm_lp_solves": lp_solve_calls() - solves_before,
+            "warm_lp_solves": warm_tally.count,
         }
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["results"] = outcome
+    common.write_bench_record("persistent_cache", **outcome)
     print()
     print(
         f"persistent cache: session 1 solved {outcome['cold_misses']} LPs in "
@@ -219,6 +224,8 @@ def test_streaming_replay_matches_batch(benchmark):
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["results"] = outcome
+    # bench_engine() runs with lp_workers="auto"; record the resolved width.
+    common.write_bench_record("streaming_replay", lp_workers="auto", **outcome)
     print()
     print(
         f"streaming replay ({outcome['intervals']} intervals in chunks of "

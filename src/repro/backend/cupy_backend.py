@@ -1,0 +1,90 @@
+"""CuPy backend (optional; auto-detected).
+
+A nearly 1:1 transcription of the numpy ops onto ``cupy`` arrays, computing
+in float32 by default (``REPRO_BACKEND_DTYPE=float64`` overrides).  Importing
+this module raises :class:`ImportError` when cupy is missing; the registry in
+:mod:`repro.backend` turns that into a one-time warning and a numpy fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+import cupy as cp  # noqa: E402  (the gating import)
+import cupyx  # noqa: E402
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy arrays on the current CUDA device."""
+
+    name = "cupy"
+    tolerance = 1e-6
+
+    def __init__(self, dtype=np.float32) -> None:
+        super().__init__()
+        self.compute_dtype = np.dtype(dtype).type
+
+    def asarray(self, values, dtype=None):
+        if isinstance(values, cp.ndarray):
+            return values if dtype is None else values.astype(dtype, copy=False)
+        arr = np.asarray(values)
+        if dtype is None and arr.dtype.kind != "f":
+            dtype = self.compute_dtype
+        return cp.asarray(arr, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        if isinstance(array, cp.ndarray):
+            return cp.asnumpy(array)
+        return np.asarray(array)
+
+    def index_array(self, indices):
+        return cp.asarray(np.asarray(indices, dtype=np.int64))
+
+    def add(self, a, b):
+        return a + b
+
+    def mul(self, a, b):
+        return a * b
+
+    def div(self, a, b):
+        return a / b
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def relu(self, x):
+        return cp.maximum(x, 0)
+
+    def sigmoid(self, x):
+        positive = 1.0 / (1.0 + cp.exp(-cp.clip(x, 0.0, 60.0)))
+        negative_exp = cp.exp(cp.clip(x, -60.0, 0.0))
+        return cp.where(x >= 0, positive, negative_exp / (1.0 + negative_exp))
+
+    def where(self, condition, a, b):
+        return cp.where(condition, a, b)
+
+    def greater(self, a, b):
+        return a > b
+
+    def less_equal(self, a, b):
+        return a <= b
+
+    def atleast_2d(self, x):
+        return cp.atleast_2d(x)
+
+    def take_last(self, x, indices):
+        return x[..., indices]
+
+    def segment_sum(self, x, indices, num_segments: int):
+        flat = x.reshape(-1, x.shape[-1])
+        out = cp.zeros((flat.shape[0], num_segments), dtype=x.dtype)
+        # scatter_add accumulates along the first axis; work transposed.
+        cupyx.scatter_add(out.T, indices, flat.T)
+        return out.reshape(x.shape[:-1] + (num_segments,))
+
+    def max_last(self, x):
+        return x.max(axis=-1)

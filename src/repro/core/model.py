@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.nn import Linear, Module, ReLU, Sequential, Sigmoid, Tensor
 from repro.paths.path_set import PathSet
 
@@ -77,7 +78,12 @@ class FigretNet(Module):
         sums = np.maximum(sums, 1e-12)
         return raw / sums[self.path_set.path_sd_index]
 
-    def split_ratios_batch(self, windows: np.ndarray, input_scale: float = 1.0) -> np.ndarray:
+    def split_ratios_batch(
+        self,
+        windows: np.ndarray,
+        input_scale: float = 1.0,
+        backend: ArrayBackend | str | None = None,
+    ) -> np.ndarray:
         """Normalised split ratios for a batch of windows in one forward pass.
 
         Args:
@@ -85,6 +91,12 @@ class FigretNet(Module):
                 flattened ``(T, H * num_sd_pairs)``.
             input_scale: Divisor applied to the inputs (the trainer scales
                 inputs by the mean training demand).
+            backend: Array backend running the forward pass (the active
+                backend -- ``REPRO_BACKEND`` or a :func:`use_backend`
+                override -- when omitted).  The default numpy backend runs
+                the original float64 path bit-identically; alternates
+                convert the batch to the device once and match it within
+                their declared tolerance.
 
         Returns:
             Split ratios of shape ``(T, num_paths)``; every SD pair's ratios
@@ -97,6 +109,9 @@ class FigretNet(Module):
             raise ValueError(
                 f"expected windows with {self.input_dim} entries each, got shape {arr.shape}"
             )
+        xb = resolve_backend(backend)
+        if not xb.native_numpy:
+            return self._split_ratios_batch_generic(arr, input_scale, xb)
         raw = self.forward(Tensor(arr / input_scale)).numpy()
         # Per-SD-pair sums for every row via the sparse incidence matrix.
         sums = (self.path_set.sd_to_path @ raw.T).T
@@ -112,3 +127,35 @@ class FigretNet(Module):
             uniform = 1.0 / counts[self.path_set.path_sd_index]
             ratios = np.where(dead[:, self.path_set.path_sd_index], uniform, ratios)
         return ratios
+
+    def _split_ratios_batch_generic(
+        self, flat_windows: np.ndarray, input_scale: float, xb: ArrayBackend
+    ) -> np.ndarray:
+        """The backend-generic forward pass + per-pair normalisation.
+
+        One host-to-device copy of the (already flattened) window batch; the
+        layer weights are converted per call (they are tiny next to the
+        batch).  Dead pairs fall back to a uniform split exactly like the
+        numpy path, so the two paths agree within ``xb.tolerance``.
+        """
+        data = xb.path_set_data(self.path_set)
+        x = xb.asarray(flat_windows / input_scale, dtype=xb.compute_dtype)
+        for module in self.network.modules:
+            if isinstance(module, Linear):
+                weight = xb.asarray(module.weight.data, dtype=xb.compute_dtype)
+                bias = xb.asarray(module.bias.data, dtype=xb.compute_dtype)
+                x = xb.add(xb.matmul(x, weight), bias)
+            elif isinstance(module, ReLU):
+                x = xb.relu(x)
+            elif isinstance(module, Sigmoid):
+                x = xb.sigmoid(x)
+            else:  # pragma: no cover - the architecture is fixed above
+                raise TypeError(f"unsupported layer for backend inference: {module!r}")
+        sums = xb.segment_sum(x, data["index"], data["num_pairs"])
+        dead = xb.less_equal(sums, 1e-18)
+        denominator = xb.where(dead, 1.0, sums)
+        ratios = xb.div(x, xb.take_last(denominator, data["index"]))
+        ratios = xb.where(
+            xb.take_last(dead, data["index"]), data["uniform"], ratios
+        )
+        return xb.to_numpy(ratios)

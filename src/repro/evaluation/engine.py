@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend, use_backend
 from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
 from repro.paths.path_set import PathSet
 from repro.solvers.lp import OptimalMLUCache, resolve_lp_workers
@@ -104,16 +105,25 @@ class EvaluationEngine:
             ``None`` solves sequentially in-process; the string ``"auto"``
             derives a width from ``os.cpu_count()`` (see
             :func:`~repro.solvers.lp.default_lp_workers`).
+        backend: Array backend the replay hot path runs on -- the forward
+            passes, batched MLUs and failure rerouting (see
+            :mod:`repro.backend`).  ``None`` (default) follows the active
+            backend (the ``REPRO_BACKEND`` environment variable, numpy if
+            unset); a name or instance pins this engine regardless of the
+            environment.  LP normalisers always stay on CPU/HiGHS behind
+            the cache.
     """
 
     def __init__(
         self,
         cache: OptimalMLUCache | None = None,
         lp_workers: int | str | None = None,
+        backend: ArrayBackend | str | None = None,
     ) -> None:
         self.cache = cache if cache is not None else OptimalMLUCache()
         lp_workers = resolve_lp_workers(lp_workers)
         self.lp_workers = lp_workers if lp_workers is None or lp_workers > 1 else None
+        self.backend = resolve_backend(backend) if backend is not None else None
 
     # ------------------------------------------------------------------ #
     # Normalisers
@@ -160,10 +170,13 @@ class EvaluationEngine:
         windows, targets = build_history_windows(
             flat, history_len, oracle_demand=oracle_demand
         )
-        ratios = scheme.configure_batch(windows)
-        raw = np.atleast_1d(
-            np.asarray(max_link_utilization(scheme.path_set, ratios, targets), dtype=float)
-        )
+        with use_backend(self.backend):
+            ratios = scheme.configure_batch(windows)
+            raw = np.atleast_1d(
+                np.asarray(
+                    max_link_utilization(scheme.path_set, ratios, targets), dtype=float
+                )
+            )
         if optimal_mlus is not None:
             optimal = np.asarray(optimal_mlus, dtype=float)[history_len : len(flat)]
         else:
@@ -241,15 +254,20 @@ class EvaluationEngine:
         for windows, targets, start in iter_window_chunks(
             rows, history_len, chunk_size, oracle_demand=oracle_demand
         ):
-            ratios = scheme.configure_batch(windows)
-            raw_parts.append(
-                np.atleast_1d(
-                    np.asarray(
-                        max_link_utilization(scheme.path_set, ratios, targets),
-                        dtype=float,
+            # One backend scope per chunk: the windows are copied to the
+            # device once here (the chunk is the batching unit), run through
+            # the forward pass and the batched MLU, and only the (T,) MLU
+            # vector returns to the host.
+            with use_backend(self.backend):
+                ratios = scheme.configure_batch(windows)
+                raw_parts.append(
+                    np.atleast_1d(
+                        np.asarray(
+                            max_link_utilization(scheme.path_set, ratios, targets),
+                            dtype=float,
+                        )
                     )
                 )
-            )
             if precomputed is not None:
                 lo = history_len + start
                 optimal_parts.append(precomputed[lo : lo + len(targets)])
@@ -424,26 +442,27 @@ class EvaluationEngine:
                     scheme.set_failures(failed)
             oracle = self.optimal_mlus(path_set, targets, path_mask=working_mask)
             oracle = np.maximum(oracle, NORMALIZER_FLOOR)
-            for scheme in schemes:
-                if scheme.name in fault_aware_names:
-                    # Fault-aware schemes see the failures, so their batch
-                    # must be recomputed per trial; their output needs no
-                    # rerouting.
-                    rerouted = scheme.configure_batch(windows)
-                else:
-                    ratios = static_ratios.get(scheme.name)
-                    if ratios is None:
-                        ratios = scheme.configure_batch(windows)
-                        static_ratios[scheme.name] = ratios
-                    rerouted = reroute_ratios_around_failures(
-                        path_set, ratios, working_mask
+            with use_backend(self.backend):
+                for scheme in schemes:
+                    if scheme.name in fault_aware_names:
+                        # Fault-aware schemes see the failures, so their batch
+                        # must be recomputed per trial; their output needs no
+                        # rerouting.
+                        rerouted = scheme.configure_batch(windows)
+                    else:
+                        ratios = static_ratios.get(scheme.name)
+                        if ratios is None:
+                            ratios = scheme.configure_batch(windows)
+                            static_ratios[scheme.name] = ratios
+                        rerouted = reroute_ratios_around_failures(
+                            path_set, ratios, working_mask
+                        )
+                    mlus = np.atleast_1d(
+                        np.asarray(
+                            max_link_utilization(path_set, rerouted, targets), dtype=float
+                        )
                     )
-                mlus = np.atleast_1d(
-                    np.asarray(
-                        max_link_utilization(path_set, rerouted, targets), dtype=float
-                    )
-                )
-                results[scheme.name].append(mlus / oracle)
+                    results[scheme.name].append(mlus / oracle)
         return {
             name: np.concatenate(values) if values else np.array([])
             for name, values in results.items()

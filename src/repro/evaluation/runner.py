@@ -54,6 +54,22 @@ def default_engine() -> EvaluationEngine:
     return _DEFAULT_ENGINE
 
 
+def _resolve_engine(
+    engine: EvaluationEngine | None, backend: str | None = None
+) -> EvaluationEngine:
+    """The engine a facade call should use.
+
+    An explicit engine wins.  A bare ``backend`` gets a backend-pinned
+    engine that still shares the process-wide LP cache, so switching array
+    backends never re-solves normalisers.
+    """
+    if engine is not None:
+        return engine
+    if backend is not None:
+        return EvaluationEngine(cache=shared_cache(), backend=backend)
+    return _DEFAULT_ENGINE
+
+
 def compute_optimal_mlus(
     path_set: PathSet,
     demands: np.ndarray,
@@ -70,6 +86,7 @@ def evaluate_scheme(
     optimal_mlus: np.ndarray | None = None,
     oracle_demand: bool = False,
     engine: EvaluationEngine | None = None,
+    backend: str | None = None,
 ) -> EvaluationResult:
     """Replay a scheme over a test trace (one batched pass).
 
@@ -82,11 +99,14 @@ def evaluate_scheme(
         oracle_demand: If True the scheme is handed the *true* next demand as
             the most recent history row (used for the Omniscient benchmark).
         engine: Evaluation engine to use (the shared default if omitted).
+        backend: Array backend for the replay hot path (see
+            :mod:`repro.backend`).  When given without an explicit engine, a
+            backend-pinned engine sharing the default LP cache is used.
 
     Returns:
         The per-interval results for intervals ``history_len .. len(test)-1``.
     """
-    return (engine or _DEFAULT_ENGINE).evaluate_scheme(
+    return _resolve_engine(engine, backend).evaluate_scheme(
         scheme,
         test_sequence,
         history_len,
@@ -103,15 +123,17 @@ def evaluate_scheme_streaming(
     optimal_mlus: np.ndarray | None = None,
     oracle_demand: bool = False,
     engine: EvaluationEngine | None = None,
+    backend: str | None = None,
 ) -> EvaluationResult:
     """Replay a scheme over an out-of-core trace in O(chunk) memory.
 
     Accepts the test trace as a sequence, a flat demand array, or any
     iterable of per-interval demand vectors; see
     :meth:`EvaluationEngine.evaluate_streaming`.  Results equal the batch
-    path to 1e-9.
+    path to 1e-9 (within the backend's tolerance when ``backend`` names a
+    non-default array backend).
     """
-    return (engine or _DEFAULT_ENGINE).evaluate_streaming(
+    return _resolve_engine(engine, backend).evaluate_streaming(
         scheme,
         demand_stream,
         history_len,

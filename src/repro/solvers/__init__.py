@@ -8,6 +8,8 @@ from repro.solvers.lp import (
     shared_cache,
     default_lp_workers,
     lp_solve_calls,
+    count_lp_solves,
+    LPSolveTally,
     MLUConstraintStructure,
     constraint_structure,
     OmniscientTE,
@@ -26,6 +28,8 @@ __all__ = [
     "shared_cache",
     "default_lp_workers",
     "lp_solve_calls",
+    "count_lp_solves",
+    "LPSolveTally",
     "MLUConstraintStructure",
     "constraint_structure",
     "OmniscientTE",

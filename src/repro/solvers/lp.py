@@ -58,6 +58,8 @@ __all__ = [
     "default_lp_workers",
     "resolve_lp_workers",
     "lp_solve_calls",
+    "count_lp_solves",
+    "LPSolveTally",
     "OmniscientTE",
     "PredictionBasedTE",
     "predict_demand",
@@ -76,11 +78,53 @@ def lp_solve_calls() -> int:
     """Number of raw MLU LP solves performed so far in this process.
 
     Process-pool workers count in their own processes, so with ``workers``
-    set the parent's counter only reflects in-process solves.  The cache
-    round-trip tests use this to assert that a warm persistent cache performs
-    *zero* new solves.
+    set the parent's counter only reflects in-process solves.  Prefer
+    :func:`count_lp_solves` for assertions: absolute values of this
+    process-global counter depend on everything that ran earlier in the
+    process (other tests, a warm shared cache, ...), so they cross-
+    contaminate between suites and between CI jobs sharing a worker.
     """
     return _LP_SOLVE_CALLS
+
+
+class LPSolveTally:
+    """A scoped view of the LP solve counter (see :func:`count_lp_solves`)."""
+
+    def __init__(self) -> None:
+        self._start = _LP_SOLVE_CALLS
+
+    @property
+    def count(self) -> int:
+        """Raw LP solves since this tally was started."""
+        return _LP_SOLVE_CALLS - self._start
+
+    def reset(self) -> None:
+        """Restart the tally at the current counter value."""
+        self._start = _LP_SOLVE_CALLS
+
+
+class count_lp_solves:
+    """Context manager scoping the process-global LP solve counter.
+
+    Yields an :class:`LPSolveTally` whose ``count`` is relative to scope
+    entry, so concurrent/ordered test runs (pytest-xdist workers, the CI
+    backend matrix) can assert exact solve counts without caring what ran
+    before them in the process::
+
+        with count_lp_solves() as tally:
+            engine.evaluate_scheme(...)
+        assert tally.count == 0   # warm cache: no new solves
+
+    The tally keeps counting after the ``with`` block exits; nesting is
+    fine (each scope has its own baseline).
+    """
+
+    def __enter__(self) -> LPSolveTally:
+        self._tally = LPSolveTally()
+        return self._tally
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
 
 
 def default_lp_workers(cap: int = 8) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.backend import get_backend, importable_backends, use_backend
 from repro.core import Dote, Figret, RetrainingPolicy, RetrainingScheme, TealLike, TrainingConfig
 from repro.core.trainer import build_windows, fit_history_window
 from repro.evaluation.engine import EvaluationEngine, build_history_windows
@@ -35,6 +36,10 @@ from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSequence
 
 HISTORY = 4
 TOL = 1e-9
+
+#: Array backends available on this machine, each compared with its own
+#: declared tolerance (the float32 plumbing for GPU backends is ~1e-6).
+LOCAL_BACKENDS = importable_backends()
 
 
 def _sequential_replay(scheme, test_sequence, history_len, oracle_demand=False):
@@ -182,6 +187,25 @@ class TestConfigureBatchEquivalence:
         windows, _ = build_history_windows(mesh4_traffic[:10].flat_demands(), HISTORY)
         with pytest.raises(RuntimeError):
             Dote(mesh4_paths).configure_batch(windows)
+
+    @pytest.mark.parametrize("backend_name", LOCAL_BACKENDS)
+    def test_batch_matches_loop_under_every_backend(
+        self, backend_name, trained_neural_schemes, mesh4_traffic
+    ):
+        """configure_batch under any backend tracks the per-window loop.
+
+        The per-window ``configure`` path always runs on float64 numpy, so
+        this cross-checks each backend's vectorized forward pass against an
+        independent implementation, within the backend's tolerance.
+        """
+        tolerance = max(get_backend(backend_name).tolerance, TOL)
+        windows, _ = build_history_windows(mesh4_traffic[:12].flat_demands(), HISTORY)
+        for scheme in trained_neural_schemes:
+            with use_backend(backend_name):
+                batched = scheme.configure_batch(windows)
+            for i, window in enumerate(windows):
+                expected = scheme.configure(window).split_ratios
+                np.testing.assert_allclose(batched[i], expected, atol=tolerance)
 
 
 class TestEvaluateSchemeEquivalence:

@@ -222,6 +222,47 @@ class TestProcessPoolFallback:
         assert lp_solve_calls() == before + len(demands)
 
 
+class TestScopedSolveCounter:
+    """count_lp_solves scopes the process-global counter per consumer."""
+
+    def test_tally_counts_only_inside_scope(self, mesh4_paths, rng):
+        from repro.solvers.lp import count_lp_solves, solve_mlu_lp
+
+        demand = rng.random(mesh4_paths.num_sd_pairs) + 0.1
+        solve_mlu_lp(mesh4_paths, demand)  # outside: must not be counted
+        with count_lp_solves() as tally:
+            assert tally.count == 0
+            solve_mlu_lp(mesh4_paths, demand)
+            solve_mlu_lp(mesh4_paths, demand)
+            assert tally.count == 2
+        # The tally keeps counting after the scope exits...
+        solve_mlu_lp(mesh4_paths, demand)
+        assert tally.count == 3
+        # ...and reset() rebaselines it.
+        tally.reset()
+        assert tally.count == 0
+
+    def test_nested_scopes_are_independent(self, mesh4_paths, rng):
+        from repro.solvers.lp import count_lp_solves, solve_mlu_lp
+
+        demand = rng.random(mesh4_paths.num_sd_pairs) + 0.1
+        with count_lp_solves() as outer:
+            solve_mlu_lp(mesh4_paths, demand)
+            with count_lp_solves() as inner:
+                solve_mlu_lp(mesh4_paths, demand)
+                assert inner.count == 1
+            assert outer.count == 2
+
+    def test_matches_global_counter_delta(self, mesh4_paths, rng):
+        from repro.solvers.lp import count_lp_solves, lp_solve_calls, solve_mlu_lp_batch
+
+        demands = rng.random((3, mesh4_paths.num_sd_pairs)) + 0.1
+        before = lp_solve_calls()
+        with count_lp_solves() as tally:
+            solve_mlu_lp_batch(mesh4_paths, demands)
+        assert tally.count == lp_solve_calls() - before == len(demands)
+
+
 class TestAutoWorkers:
     """'auto' is a valid workers value at every layer, not just the engine."""
 

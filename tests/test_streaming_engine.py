@@ -20,6 +20,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.backend import get_backend, importable_backends
 from repro.core import Dote, TrainingConfig
 from repro.evaluation.engine import EvaluationEngine
 from repro.solvers import OmniscientTE, PredictionBasedTE, omniscient_mlu
@@ -30,6 +31,10 @@ HISTORY = 4
 TOL = 1e-9
 #: Pool width for the engines under test (sequential unless CI sets it).
 LP_WORKERS = int(os.environ.get("REPRO_LP_WORKERS", "0")) or None
+
+#: Array backends available on this machine (float32 ones run with their own
+#: declared tolerance, the float32 plumbing the GPU backends need).
+LOCAL_BACKENDS = importable_backends()
 
 
 def make_engine() -> EvaluationEngine:
@@ -285,6 +290,49 @@ def replay_reference(trained_dote, mesh4_traffic):
     engine = make_engine()
     batch = engine.evaluate_scheme(trained_dote, traffic, HISTORY)
     return trained_dote, traffic, engine, batch
+
+
+class TestBackendStreamingEquivalence:
+    """streaming == batch == numpy reference under every local array backend.
+
+    The numpy backend must match the default replay bit-identically; the
+    float32 / pure-python backends match within their declared tolerance
+    (the ~1e-6 float32 bound the GPU backends are pinned to).
+    """
+
+    @pytest.mark.parametrize("backend_name", LOCAL_BACKENDS)
+    @pytest.mark.parametrize("chunk_size", [3, 1000])
+    def test_streaming_matches_numpy_batch(
+        self, trained_dote, mesh4_traffic, backend_name, chunk_size
+    ):
+        test = mesh4_traffic[:20]
+        reference_engine = EvaluationEngine(lp_workers=LP_WORKERS, backend="numpy")
+        reference = reference_engine.evaluate_scheme(trained_dote, test, HISTORY)
+        engine = EvaluationEngine(
+            cache=reference_engine.cache, lp_workers=LP_WORKERS, backend=backend_name
+        )
+        tolerance = max(get_backend(backend_name).tolerance, TOL)
+        batch = engine.evaluate_scheme(trained_dote, test, HISTORY)
+        streamed = engine.evaluate_streaming(
+            trained_dote,
+            (matrix.flat() for matrix in test),  # one-shot row stream
+            HISTORY,
+            chunk_size=chunk_size,
+        )
+        np.testing.assert_allclose(
+            batch.normalized_mlus, reference.normalized_mlus, atol=tolerance
+        )
+        np.testing.assert_allclose(
+            streamed.normalized_mlus, reference.normalized_mlus, atol=tolerance
+        )
+        # Chunking adds no error beyond the backend's own (BLAS kernels may
+        # block differently per batch shape, so float32 backends keep their
+        # tolerance here too).
+        np.testing.assert_allclose(streamed.raw_mlus, batch.raw_mlus, atol=tolerance)
+        if backend_name == "numpy":
+            np.testing.assert_array_equal(
+                batch.normalized_mlus, reference.normalized_mlus
+            )
 
 
 class TestStreamingCacheConsistency:
