@@ -22,11 +22,12 @@ import numpy as np
 
 from repro import datasets
 from repro.backend import active_backend
-from repro.core import Dote, Figret, TealLike, TrainingConfig
+from repro.core import TrainingConfig
 from repro.evaluation import evaluate_scheme
 from repro.evaluation.engine import EvaluationEngine
 from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
 from repro.solvers.lp import resolve_lp_workers, shared_cache
+from repro.study import ExperimentSpec, ResultSet, Study
 
 #: Seed used by every benchmark scenario (results are deterministic).
 BENCH_SEED = 7
@@ -46,8 +47,12 @@ SCENARIO_INTERVALS = {
 #: Cap on the number of evaluated test intervals per scheme.
 MAX_EVAL_INTERVALS = 40
 
-_scenarios: dict[str, datasets.Scenario] = {}
-_schemes: dict[tuple, object] = {}
+#: Session-wide dedup caches shared by every study the harness runs: one
+#: scenario build and one scheme training per distinct spec, across all
+#: benchmark modules (ported to the study API or not).
+SCENARIO_CACHE: dict = {}
+SCHEME_CACHE: dict = {}
+
 _engine: EvaluationEngine | None = None
 
 
@@ -65,12 +70,28 @@ def bench_engine() -> EvaluationEngine:
     return _engine
 
 
+def _session_study(spec=None) -> Study:
+    """A study wired to the session caches (and, via run_study, the engine)."""
+    return Study(spec, scheme_cache=SCHEME_CACHE, scenario_cache=SCENARIO_CACHE)
+
+
+def scenario_spec(name: str) -> dict:
+    """The declarative reference for a benchmark scenario (seed + length)."""
+    return {
+        "name": name,
+        "seed": BENCH_SEED,
+        "num_intervals": SCENARIO_INTERVALS.get(name),
+    }
+
+
 def get_scenario(name: str) -> datasets.Scenario:
     """Load (and cache) a benchmark scenario."""
-    if name not in _scenarios:
-        intervals = SCENARIO_INTERVALS.get(name)
-        _scenarios[name] = datasets.load(name, seed=BENCH_SEED, num_intervals=intervals)
-    return _scenarios[name]
+    return _session_study().scenario(scenario_spec(name))
+
+
+def run_study(spec, engine: EvaluationEngine | None = None) -> ResultSet:
+    """Run a study spec on the session engine with the session dedup caches."""
+    return _session_study(spec).run(engine=engine or bench_engine())
 
 
 def training_config(scenario: datasets.Scenario, robustness_weight: float, epochs: int) -> TrainingConfig:
@@ -91,12 +112,33 @@ def training_config(scenario: datasets.Scenario, robustness_weight: float, epoch
     )
 
 
-def _scheme_key(kind: str, scenario_name: str, robustness_weight: float, epochs: int) -> tuple:
-    return (kind, scenario_name, round(robustness_weight, 4), epochs)
+def scheme_spec(
+    kind: str, scenario_name: str, robustness_weight: float = 0.15, epochs: int = 40
+) -> dict:
+    """The declarative spec of a trained neural scheme for a scenario.
+
+    Spells :func:`training_config`'s per-scenario choices out as plain data,
+    so study cells and :func:`trained_scheme` share one canonical key (and
+    therefore one training) per scheme.
+    """
+    scenario = get_scenario(scenario_name)
+    config = training_config(scenario, robustness_weight, epochs)
+    return {
+        "kind": kind,
+        "epochs": config.epochs,
+        "history_len": config.history_len,
+        "robustness_weight": config.robustness_weight,
+        "learning_rate": config.learning_rate,
+        "lr_decay": config.lr_decay,
+        "seed": config.seed,
+    }
 
 
 def trained_scheme(kind: str, scenario_name: str, robustness_weight: float = 0.15, epochs: int = 40):
     """Return a trained FIGRET / DOTE / TEAL-like scheme, training it once per session.
+
+    Resolved through the study layer's scheme cache, so benchmarks using the
+    declarative API and ones calling this helper share trainings.
 
     Args:
         kind: ``"figret"``, ``"dote"`` or ``"teal"``.
@@ -104,23 +146,11 @@ def trained_scheme(kind: str, scenario_name: str, robustness_weight: float = 0.1
         robustness_weight: FIGRET's L2 weight (ignored by DOTE / TEAL).
         epochs: Training epochs.
     """
-    key = _scheme_key(kind, scenario_name, robustness_weight, epochs)
-    if key in _schemes:
-        return _schemes[key]
-    scenario = get_scenario(scenario_name)
-    config = training_config(scenario, robustness_weight, epochs)
-    if kind == "figret":
-        scheme = Figret(scenario.paths, config)
-    elif kind == "dote":
-        scheme = Dote(scenario.paths, config)
-    elif kind == "teal":
-        scheme = TealLike(scenario.paths, config)
-    else:
-        raise ValueError(f"unknown scheme kind {kind!r}")
-    train, _ = scenario.split()
-    scheme.precompute(train)
-    _schemes[key] = scheme
-    return scheme
+    cell = ExperimentSpec(
+        scenario=scenario_spec(scenario_name),
+        scheme=scheme_spec(kind, scenario_name, robustness_weight, epochs),
+    )
+    return _session_study().trained_scheme(cell, engine=bench_engine())
 
 
 def test_slice(scenario: datasets.Scenario, max_intervals: int = MAX_EVAL_INTERVALS):

@@ -23,7 +23,7 @@ import pytest
 
 import bench_common as common
 from repro.evaluation.reporting import format_table
-from repro.solvers import CopeTE, DesensitizationTE, ObliviousTE, PredictionBasedTE
+from repro.study import sweep
 
 
 HEADERS = ["scheme", "mean", "p50", "p90", "p99", "worst", "severe>2"]
@@ -31,27 +31,26 @@ HEADERS = ["scheme", "mean", "p50", "p90", "p99", "worst", "severe>2"]
 
 def _evaluate_panel(scenario_name, robustness_weight, epochs, include_oblivious=False,
                     include_teal=False):
-    scenario = common.get_scenario(scenario_name)
-    train, _ = scenario.split()
+    """One Figure-5 panel as a declarative study: a scheme sweep over one scenario."""
     schemes = [
-        ("FIGRET", common.trained_scheme("figret", scenario_name, robustness_weight, epochs)),
-        ("DOTE", common.trained_scheme("dote", scenario_name, 0.0, epochs)),
-        ("Des TE", DesensitizationTE(scenario.paths)),
-        ("Pred TE", PredictionBasedTE(scenario.paths)),
+        common.scheme_spec("figret", scenario_name, robustness_weight, epochs),
+        common.scheme_spec("dote", scenario_name, 0.0, epochs),
+        {"kind": "des_te"},
+        {"kind": "pred_te", "label": "Pred TE"},
     ]
     if include_teal:
-        schemes.append(("TEAL-like", common.trained_scheme("teal", scenario_name, 0.0, epochs)))
+        schemes.append(common.scheme_spec("teal", scenario_name, 0.0, epochs))
     if include_oblivious:
-        oblivious = ObliviousTE(scenario.paths)
-        oblivious.precompute(train)
-        cope = CopeTE(scenario.paths, prediction_set_size=4)
-        cope.precompute(train)
-        schemes.extend([("Oblivious", oblivious), ("COPE", cope)])
+        schemes.extend([{"kind": "oblivious"}, {"kind": "cope", "prediction_set_size": 4}])
 
-    results = {}
-    for label, scheme in schemes:
-        results[label] = common.evaluate_on_scenario(scheme, scenario).statistics
-    return results
+    results = common.run_study(
+        {
+            "scenario": common.scenario_spec(scenario_name),
+            "scheme": sweep(*schemes),
+            "max_intervals": common.MAX_EVAL_INTERVALS,
+        }
+    )
+    return {record.scheme: record.statistics for record in results}
 
 
 def _print_panel(title, per_scenario):

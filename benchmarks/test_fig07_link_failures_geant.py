@@ -6,6 +6,10 @@ paths (Section 4.5); FA Des TE knows the failures in advance.  MLUs are
 normalised by an oracle that knows both the failures and the future demand.
 The paper's shape: FIGRET beats DOTE and Des TE and is competitive with the
 fault-aware oracle-assisted variant.
+
+Declared as one study grid -- scheme axis x failure-count axis -- with the
+failure oracle LP-cached across cells (same seed => same failure patterns,
+so the scheme axis adds zero oracle solves).
 """
 
 from __future__ import annotations
@@ -14,38 +18,42 @@ import numpy as np
 import pytest
 
 import bench_common as common
-from repro.evaluation import failure_experiment
 from repro.evaluation.reporting import format_table
-from repro.solvers import DesensitizationTE, FaultAwareDesensitizationTE
+from repro.study import sweep
 
 
 @pytest.mark.paper("Figure 7")
 def test_fig07_random_link_failures_geant(benchmark):
-    scenario = common.get_scenario("geant_small")
-    figret = common.trained_scheme("figret", "geant_small", 0.1, 80)
-    dote = common.trained_scheme("dote", "geant_small", 0.0, 80)
-    des = DesensitizationTE(scenario.paths)
-    fa_des = FaultAwareDesensitizationTE(scenario.paths)
-    test = common.test_slice(scenario, 6)
+    schemes = [
+        common.scheme_spec("figret", "geant_small", 0.1, 80),
+        common.scheme_spec("dote", "geant_small", 0.0, 80),
+        {"kind": "des_te"},
+        {"kind": "fa_des_te"},
+    ]
+    spec = {
+        "scenario": common.scenario_spec("geant_small"),
+        "scheme": sweep(*schemes),
+        "perturbation": sweep(
+            *[
+                {"kind": "failure", "num_failures": k, "num_trials": 3, "seed": 100 + k}
+                for k in (1, 2, 3)
+            ]
+        ),
+        "max_intervals": 6,
+    }
 
     def run():
+        results = common.run_study(spec)
         outcome = {}
-        for num_failures in (1, 2, 3):
-            results = failure_experiment(
-                [figret, dote, des, fa_des],
-                test,
-                scenario.history_len,
-                num_failures=num_failures,
-                num_trials=3,
-                seed=100 + num_failures,
-            )
-            outcome[num_failures] = {name: float(np.mean(series)) for name, series in results.items()}
+        for record in results:
+            num_failures = record.spec["perturbation"]["num_failures"]
+            outcome.setdefault(num_failures, {})[record.scheme] = float(np.mean(record.series))
         return outcome
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
         [str(k), f"{v['FIGRET']:.3f}", f"{v['DOTE']:.3f}", f"{v['Des TE']:.3f}", f"{v['FA Des TE']:.3f}"]
-        for k, v in outcome.items()
+        for k, v in sorted(outcome.items())
     ]
     print()
     print(format_table(

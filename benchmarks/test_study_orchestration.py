@@ -1,0 +1,196 @@
+"""Study-orchestration overhead and LP-solve dedup on a Figure-5-style grid.
+
+Two guarantees of the declarative layer are pinned here:
+
+* **Overhead** -- running a scenarios x schemes x perturbations grid through
+  :class:`repro.study.Study` costs < 5% wall-clock over issuing the
+  equivalent engine calls by hand (the orchestration is dict bookkeeping;
+  the replays dominate).
+* **LP dedup** -- across grid cells the omniscient normalisers are solved
+  once per distinct demand matrix: adding the whole scheme axis to a grid
+  adds *zero* LP solves, and re-running a study on a warm engine solves
+  nothing (asserted with :func:`~repro.solvers.lp.count_lp_solves`).
+
+Emits ``BENCH_study_orchestration.json`` in the shared bench-record format.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+
+import bench_common as common
+from repro.evaluation.engine import EvaluationEngine
+from repro.solvers.lp import OptimalMLUCache, count_lp_solves
+from repro.study import Study, sweep
+from repro.traffic.perturb import gaussian_fluctuation
+
+#: The grid: three Figure-5 scenarios x three neural schemes x two
+#: perturbation profiles, at the fig05 evaluation cap.  Neural schemes only
+#: -- their replay is a pure forward pass, so every LP solve in these cells
+#: is a normaliser and the dedup assertions are exact.  Tiny training
+#: budget: orchestration overhead does not depend on model quality, and the
+#: geant schemes are shared with test_engine_speedup in the CI bench job.
+SCENARIOS = ["geant_small", "pfabric_small", "meta_pod_db_small"]
+EPOCHS = 5
+FLUCTUATION = {"kind": "fluctuation", "alpha": 0.5, "seed": common.BENCH_SEED}
+MAX_INTERVALS = common.MAX_EVAL_INTERVALS
+
+
+def _scheme_specs(scenario_name):
+    return [
+        common.scheme_spec("figret", scenario_name, 0.1, EPOCHS),
+        common.scheme_spec("dote", scenario_name, 0.0, EPOCHS),
+        common.scheme_spec("teal", scenario_name, 0.0, EPOCHS),
+    ]
+
+
+def _grid_spec(scenario_name, schemes):
+    return {
+        "scenario": common.scenario_spec(scenario_name),
+        "scheme": sweep(*schemes) if len(schemes) > 1 else schemes[0],
+        "perturbation": sweep({"kind": "none"}, dict(FLUCTUATION)),
+        "max_intervals": MAX_INTERVALS,
+    }
+
+
+def _full_grid():
+    return [_grid_spec(name, _scheme_specs(name)) for name in SCENARIOS]
+
+
+def _pretrain_all():
+    """Resolve every grid scheme up front (training LPs stay out of the timings)."""
+    schemes = {}
+    for name in SCENARIOS:
+        for kind, spec in zip(("figret", "dote", "teal"), _scheme_specs(name)):
+            schemes[(name, kind)] = common.trained_scheme(
+                kind, name, spec["robustness_weight"], EPOCHS
+            )
+    return schemes
+
+def _direct_equivalent(engine, schemes):
+    """The grid issued as hand-written engine calls (what the study replaces).
+
+    Produces the same deliverables a study cell records -- per-cell summary
+    statistics and fluctuation declines -- so the timing difference is pure
+    orchestration (spec expansion, dedup keys, provenance records).
+    """
+    outcome = {}
+    for name in SCENARIOS:
+        scenario = common.get_scenario(name)
+        train, _ = scenario.split()
+        test = common.test_slice(scenario, MAX_INTERVALS)
+        std = train.pair_std()
+        for kind in ("figret", "dote", "teal"):
+            scheme = schemes[(name, kind)]
+            base = engine.evaluate_scheme(scheme, test, scenario.history_len)
+            base_stats = base.statistics
+            perturbed = gaussian_fluctuation(
+                test, FLUCTUATION["alpha"], std, seed=FLUCTUATION["seed"]
+            )
+            fluct = engine.evaluate_scheme(scheme, perturbed, scenario.history_len)
+            fluct_stats = fluct.statistics
+            outcome[(name, kind)] = {
+                "replay": base_stats,
+                "fluctuation": fluct_stats,
+                "average_decline": fluct_stats.mean / base_stats.mean - 1.0,
+                "p90_decline": fluct_stats.p90 / base_stats.p90 - 1.0,
+            }
+    return outcome
+
+
+def _compare(direct_fn, study_fn, rounds=7):
+    """Best-of-N wall times, rounds interleaved so session-state drift (GC
+    pressure from earlier benchmark modules, allocator state) hits both
+    paths alike; collections run outside the timed regions."""
+    best_direct = best_study = float("inf")
+    for _ in range(rounds):
+        gc.collect()
+        start = time.perf_counter()
+        direct_fn()
+        best_direct = min(best_direct, time.perf_counter() - start)
+        gc.collect()
+        start = time.perf_counter()
+        study_fn()
+        best_study = min(best_study, time.perf_counter() - start)
+    return best_direct, best_study
+
+
+@pytest.mark.paper("study orchestration")
+def test_study_orchestration_overhead_and_dedup(benchmark):
+    schemes = _pretrain_all()
+    engine = common.bench_engine()
+
+    def run_study():
+        return [
+            Study(spec, scheme_cache=common.SCHEME_CACHE, scenario_cache=common.SCENARIO_CACHE).run(
+                engine=engine
+            )
+            for spec in _full_grid()
+        ]
+
+    def run_direct():
+        return _direct_equivalent(engine, schemes)
+
+    # Warm both paths (LP cache, scenario/scheme caches), then time best-of-N.
+    run_direct()
+    run_study()
+    direct_s, study_s = _compare(run_direct, run_study)
+    if study_s / direct_s - 1.0 >= 0.05:
+        # One noisy sample shouldn't fail CI: re-measure with more rounds
+        # before concluding the orchestration itself regressed.
+        direct_s, study_s = _compare(run_direct, run_study, rounds=15)
+    overhead = study_s / direct_s - 1.0
+
+    # --- LP dedup: scheme axis adds zero solves; warm re-runs solve nothing.
+    cold_engine = EvaluationEngine(cache=OptimalMLUCache())
+    single = [_grid_spec(name, [_scheme_specs(name)[0]]) for name in SCENARIOS]
+    with count_lp_solves() as cold_tally:
+        for spec in single:
+            Study(spec, scheme_cache=common.SCHEME_CACHE, scenario_cache=common.SCENARIO_CACHE).run(
+                engine=cold_engine
+            )
+    cold_solves = cold_tally.count
+    with count_lp_solves() as axis_tally:
+        for spec in _full_grid():
+            Study(spec, scheme_cache=common.SCHEME_CACHE, scenario_cache=common.SCENARIO_CACHE).run(
+                engine=cold_engine
+            )
+    with count_lp_solves() as rerun_tally:
+        for spec in _full_grid():
+            Study(spec, scheme_cache=common.SCHEME_CACHE, scenario_cache=common.SCENARIO_CACHE).run(
+                engine=cold_engine
+            )
+
+    results = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    cells = sum(len(result_set) for result_set in results)
+    print()
+    print(
+        f"Study orchestration: {cells} cells, direct {direct_s * 1e3:.1f} ms, "
+        f"study {study_s * 1e3:.1f} ms, overhead {overhead * 100:+.2f}%"
+    )
+    print(
+        f"LP dedup: {cold_solves} cold solves for the scenario x perturbation axes, "
+        f"+{axis_tally.count} for the full scheme axis, +{rerun_tally.count} on re-run"
+    )
+    benchmark.extra_info["overhead"] = overhead
+    benchmark.extra_info["cold_solves"] = cold_solves
+
+    assert cold_solves > 0  # the cold engine really did the normaliser pass
+    assert axis_tally.count == 0  # scheme axis: zero repeat LP solves
+    assert rerun_tally.count == 0  # warm re-run: zero repeat LP solves
+    assert overhead < 0.05
+
+    common.write_bench_record(
+        "study_orchestration",
+        lp_workers=engine.lp_workers,
+        grid_cells=cells,
+        direct_seconds=direct_s,
+        study_seconds=study_s,
+        orchestration_overhead=overhead,
+        cold_lp_solves=cold_solves,
+        scheme_axis_extra_solves=axis_tally.count,
+        rerun_extra_solves=rerun_tally.count,
+    )

@@ -16,9 +16,8 @@ from __future__ import annotations
 import pytest
 
 import bench_common as common
-from repro.core import Figret
-from repro.evaluation import drift_experiment, fluctuation_experiment
 from repro.evaluation.reporting import format_table
+from repro.study import sweep
 from repro.traffic.perturb import variance_rank_spearman
 
 NETWORKS = {
@@ -37,19 +36,45 @@ def _decline_rows(outcome):
     return rows
 
 
+def _fluctuation_spec(scenario_name, robustness, epochs, worst_case=False):
+    """Tables 3 and 5 as one declarative study: a perturbation sweep."""
+    return {
+        "scenario": common.scenario_spec(scenario_name),
+        "scheme": common.scheme_spec("figret", scenario_name, robustness, epochs),
+        "perturbation": sweep(
+            *[
+                {
+                    "kind": "fluctuation",
+                    "alpha": alpha,
+                    "worst_case": worst_case,
+                    "seed": common.BENCH_SEED,
+                }
+                for alpha in ALPHAS
+            ]
+        ),
+        "max_intervals": 25,
+    }
+
+
+def _declines_by_alpha(results):
+    """Read the per-alpha declines back out of the records' spec provenance."""
+    return {
+        record.spec["perturbation"]["alpha"]: {
+            "average_decline": record.metrics["average_decline"],
+            "p90_decline": record.metrics["p90_decline"],
+        }
+        for record in results
+    }
+
+
 @pytest.mark.paper("Table 3")
 @pytest.mark.parametrize("scenario_name", list(NETWORKS))
 def test_tab03_gaussian_fluctuation(benchmark, scenario_name):
     robustness, epochs = NETWORKS[scenario_name]
-    scenario = common.get_scenario(scenario_name)
-    figret = common.trained_scheme("figret", scenario_name, robustness, epochs)
-    train, _ = scenario.split()
-    test = common.test_slice(scenario, 25)
+    spec = _fluctuation_spec(scenario_name, robustness, epochs)
 
     outcome = benchmark.pedantic(
-        lambda: fluctuation_experiment(
-            figret, test, train, scenario.history_len, alphas=ALPHAS, seed=common.BENCH_SEED
-        ),
+        lambda: _declines_by_alpha(common.run_study(spec)),
         rounds=1,
         iterations=1,
     )
@@ -67,17 +92,26 @@ def test_tab03_gaussian_fluctuation(benchmark, scenario_name):
 @pytest.mark.parametrize("scenario_name", ["meta_pod_db_small", "pfabric_small"])
 def test_tab04_natural_drift(benchmark, scenario_name):
     robustness, _ = NETWORKS[scenario_name]
-    scenario = common.get_scenario(scenario_name)
-    config = common.training_config(scenario, robustness, epochs=25)
+    segments = ((0.0, 0.25), (0.25, 0.5), (0.5, 0.75))
+    spec = {
+        "scenario": common.scenario_spec(scenario_name),
+        "scheme": common.scheme_spec("figret", scenario_name, robustness, epochs=25),
+        "perturbation": sweep(
+            *[{"kind": "drift", "train_segment": list(segment)} for segment in segments]
+        ),
+    }
 
-    def factory():
-        return Figret(scenario.paths, config)
+    def run():
+        results = common.run_study(spec)
+        return {
+            f"{int(start * 100)}%-{int(end * 100)}%": {
+                "average_decline": record.metrics["average_decline"],
+                "p90_decline": record.metrics["p90_decline"],
+            }
+            for (start, end), record in zip(segments, results)
+        }
 
-    outcome = benchmark.pedantic(
-        lambda: drift_experiment(factory, scenario.traffic, scenario.history_len),
-        rounds=1,
-        iterations=1,
-    )
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
         [segment, f"{entry['average_decline'] * 100:+.1f}%", f"{entry['p90_decline'] * 100:+.1f}%"]
         for segment, entry in outcome.items()
@@ -97,15 +131,11 @@ def test_tab04_natural_drift(benchmark, scenario_name):
 def test_tab05_worst_case_fluctuation(benchmark, scenario_name):
     robustness, epochs = NETWORKS[scenario_name]
     scenario = common.get_scenario(scenario_name)
-    figret = common.trained_scheme("figret", scenario_name, robustness, epochs)
     train, test_full = scenario.split()
-    test = common.test_slice(scenario, 25)
+    spec = _fluctuation_spec(scenario_name, robustness, epochs, worst_case=True)
 
     def run():
-        outcome = fluctuation_experiment(
-            figret, test, train, scenario.history_len, alphas=ALPHAS,
-            worst_case=True, seed=common.BENCH_SEED,
-        )
+        outcome = _declines_by_alpha(common.run_study(spec))
         spearman = variance_rank_spearman(train.pair_variance(), test_full.pair_variance())
         return outcome, spearman
 

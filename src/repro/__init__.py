@@ -11,6 +11,12 @@ The most commonly used entry points are re-exported here:
 >>> from repro import datasets, Figret
 >>> scenario = datasets.load("geant_small", seed=1)
 >>> model = Figret(scenario.topology, scenario.paths)
+
+Whole experiment grids are declared as data and run through the study layer:
+
+>>> from repro import Study, sweep
+>>> results = Study({"scenario": sweep("geant_small", "pfabric_small"),
+...                  "scheme": {"kind": "figret"}}).run()
 """
 
 from repro.topology.graph import Topology
@@ -19,8 +25,9 @@ from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSequence
 from repro.te.config import TEConfiguration
 from repro.core.figret import Figret
 from repro.core.dote import Dote
+from repro.study import ExperimentSpec, ResultSet, Study, sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Topology",
@@ -30,5 +37,9 @@ __all__ = [
     "TEConfiguration",
     "Figret",
     "Dote",
+    "Study",
+    "ExperimentSpec",
+    "ResultSet",
+    "sweep",
     "__version__",
 ]

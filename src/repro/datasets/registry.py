@@ -13,6 +13,8 @@ factors are recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import inspect
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Callable
 
@@ -26,7 +28,14 @@ from repro.traffic.matrix import TrafficMatrixSequence
 from repro.traffic.pfabric import PFabricTrafficGenerator
 from repro.traffic.wan import GeantLikeGenerator
 
-__all__ = ["Scenario", "available_scenarios", "load"]
+__all__ = [
+    "Scenario",
+    "available_scenarios",
+    "load",
+    "register_scenario",
+    "unregister_scenario",
+    "from_config",
+]
 
 
 @dataclass
@@ -176,6 +185,170 @@ _BUILDERS: dict[str, Callable[[int, int | None], Scenario]] = {
 def available_scenarios() -> list[str]:
     """Names of all registered scenarios."""
     return sorted(_BUILDERS)
+
+
+def register_scenario(name: str, overwrite: bool = False):
+    """Register a scenario builder under ``name`` (new workloads are data).
+
+    The decorated builder is called as ``builder(seed, num_intervals)`` --
+    the same contract :func:`load` passes to the bundled scenarios -- and
+    must return a :class:`Scenario`.  Registered names show up in
+    :func:`available_scenarios` and are loadable by every consumer
+    (:func:`load`, the benchmark harness, :class:`repro.study.Study` specs).
+
+    Example::
+
+        @register_scenario("my_mesh")
+        def _build(seed, num_intervals):
+            return from_config({
+                "name": "my_mesh",
+                "topology": {"kind": "fully_connected", "num_nodes": 6},
+                "traffic": {"kind": "datacenter", "seed": seed,
+                            "num_intervals": num_intervals or 200},
+            })
+
+    Raises:
+        ValueError: If ``name`` is taken and ``overwrite`` is not set.
+    """
+
+    def decorator(builder: Callable[[int, int | None], Scenario]):
+        if name in _BUILDERS and not overwrite:
+            raise ValueError(
+                f"scenario {name!r} is already registered; pass overwrite=True to replace it"
+            )
+        _BUILDERS[name] = builder
+        return builder
+
+    return decorator
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registered scenario (missing names are ignored)."""
+    _BUILDERS.pop(name, None)
+
+
+#: Topology builders usable from a scenario config's ``topology.kind``.
+_TOPOLOGY_KINDS: dict[str, Callable[..., Topology]] = {
+    "triangle": generators.triangle,
+    "line": generators.line,
+    "star": generators.star,
+    "fully_connected": generators.fully_connected,
+    "random_regular": generators.random_regular,
+    "leaf_spine": generators.leaf_spine_direct_connect,
+    "wan_like": generators.wan_like,
+    "geant": zoo.geant,
+    "uscarrier": zoo.uscarrier,
+    "cogentco": zoo.cogentco,
+}
+
+#: Traffic generators usable from a scenario config's ``traffic.kind``.
+_TRAFFIC_KINDS: dict[str, Callable] = {
+    "gravity": GravityTrafficGenerator,
+    "datacenter": DataCenterTrafficGenerator,
+    "pfabric": PFabricTrafficGenerator,
+    "geant_like": GeantLikeGenerator,
+}
+
+
+def _validate_builder_kwargs(builder, kwargs: dict, what: str, reserved: tuple = ()) -> None:
+    """Reject config keys the builder cannot accept -- before anything builds.
+
+    ``reserved`` names parameters the framework supplies itself (e.g. the
+    traffic generators' ``topology``), which configs must not set.
+    """
+    parameters = inspect.signature(builder).parameters
+    allowed = [
+        name
+        for name, param in parameters.items()
+        if name not in reserved
+        and param.kind in (param.POSITIONAL_OR_KEYWORD, param.KEYWORD_ONLY)
+    ]
+    unknown = [key for key in kwargs if key not in allowed]
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {sorted(unknown)} for {what}; allowed: {sorted(allowed)}"
+        )
+
+
+def from_config(config: Mapping) -> Scenario:
+    """Build a :class:`Scenario` from a plain config dict (JSON-friendly).
+
+    The config mirrors what the bundled builders hard-code::
+
+        {
+            "name": "my_scenario",
+            "topology": {"kind": "fully_connected", "num_nodes": 8,
+                         "capacity": 40.0},
+            "traffic": {"kind": "datacenter", "level": "pod",
+                        "num_intervals": 300, "seed": 0},
+            "paths": {"k": 3},
+            "history_len": 12,
+            "train_fraction": 0.75,
+            "description": "..."
+        }
+
+    ``topology.kind`` selects from :data:`_TOPOLOGY_KINDS` (generator
+    functions and the topology-zoo WANs); remaining keys are passed to the
+    builder.  ``traffic.kind`` selects from :data:`_TRAFFIC_KINDS`; the
+    generator is constructed with the remaining keys (minus the required
+    ``num_intervals``, which sets the trace length).
+
+    Raises:
+        ValueError: On unknown kinds or leftover config keys.
+    """
+    # Validate the whole config up front: a typoed key must fail before the
+    # (potentially expensive) topology / KSP / trace construction starts.
+    cfg = dict(config)
+    name = cfg.pop("name", "custom")
+    topo_cfg = dict(cfg.pop("topology", None) or {})
+    traffic_cfg = dict(cfg.pop("traffic", None) or {})
+    paths_cfg = dict(cfg.pop("paths", None) or {})
+    train_fraction = cfg.pop("train_fraction", 0.75)
+    history_len = cfg.pop("history_len", 12)
+    description = cfg.pop("description", "")
+    if cfg:
+        raise ValueError(
+            f"unknown scenario config key(s) {sorted(cfg)}; allowed: ['name', 'topology', "
+            "'traffic', 'paths', 'history_len', 'train_fraction', 'description']"
+        )
+
+    topo_kind = topo_cfg.pop("kind", None)
+    if topo_kind not in _TOPOLOGY_KINDS:
+        raise ValueError(
+            f"unknown topology kind {topo_kind!r}; available: "
+            f"{', '.join(sorted(_TOPOLOGY_KINDS))}"
+        )
+    _validate_builder_kwargs(_TOPOLOGY_KINDS[topo_kind], topo_cfg, f"topology kind {topo_kind!r}")
+    traffic_kind = traffic_cfg.pop("kind", None)
+    if traffic_kind not in _TRAFFIC_KINDS:
+        raise ValueError(
+            f"unknown traffic kind {traffic_kind!r}; available: "
+            f"{', '.join(sorted(_TRAFFIC_KINDS))}"
+        )
+    num_intervals = traffic_cfg.pop("num_intervals", None)
+    if num_intervals is None:
+        raise ValueError("the traffic config requires 'num_intervals'")
+    _validate_builder_kwargs(
+        _TRAFFIC_KINDS[traffic_kind],
+        traffic_cfg,
+        f"traffic kind {traffic_kind!r}",
+        reserved=("topology",),
+    )
+    k_paths = paths_cfg.pop("k", 3)
+    if paths_cfg:
+        raise ValueError(f"unknown paths config key(s) {sorted(paths_cfg)}; allowed: ['k']")
+
+    topology = _TOPOLOGY_KINDS[topo_kind](**topo_cfg)
+    traffic = _TRAFFIC_KINDS[traffic_kind](topology, **traffic_cfg).generate(num_intervals)
+    return Scenario(
+        name=name,
+        topology=topology,
+        paths=build_ksp_path_set(topology, k=k_paths),
+        traffic=traffic,
+        train_fraction=train_fraction,
+        history_len=history_len,
+        description=description,
+    )
 
 
 def load(name: str, seed: int = 0, num_intervals: int | None = None) -> Scenario:

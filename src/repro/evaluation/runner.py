@@ -12,6 +12,15 @@ vectorized pass per scheme and the omniscient normalisers come from an
 the process (main comparison, fluctuation, drift, failures).  Pass an
 explicit ``engine`` to isolate caches, e.g. between unrelated path sets'
 workloads in one long-running process.
+
+Since the declarative-study redesign, the experiment-level facades
+(:func:`compare_schemes`, :func:`fluctuation_experiment`,
+:func:`drift_experiment`, :func:`failure_experiment`) are themselves thin
+shims over :class:`repro.study.Study` -- kept for backward compatibility
+(results are pinned bit-identical to the seed protocol), but new code
+should declare experiment grids as specs and run them through a
+:class:`~repro.study.Study`, which additionally deduplicates scenario
+builds, scheme trainings and baseline replays across the whole grid.
 """
 
 from __future__ import annotations
@@ -150,18 +159,38 @@ def compare_schemes(
     history_len: int,
     precompute: bool = True,
     engine: EvaluationEngine | None = None,
+    backend: str | None = None,
 ) -> dict[str, EvaluationResult]:
     """Train (precompute) every scheme and replay all of them on the same trace.
 
     The omniscient-optimal MLUs are computed once and shared across schemes.
 
+    .. deprecated:: prefer declaring the scheme axis of a
+        :class:`repro.study.Study` spec; this facade is a thin shim over it.
+
     Raises:
         ValueError: If the schemes do not all share one :class:`PathSet`
         (their normalised MLUs would not be comparable).
     """
-    return (engine or _DEFAULT_ENGINE).compare_schemes(
-        schemes, train_sequence, test_sequence, history_len, precompute=precompute
+    from repro.study import ExperimentSpec, InlineScenario, Study
+
+    schemes = list(schemes)
+    path_set = EvaluationEngine._require_shared_path_set(schemes)
+    if len(test_sequence) <= history_len:
+        raise ValueError("test sequence is shorter than the history window")
+    inline = InlineScenario(
+        paths=path_set,
+        train=train_sequence,
+        test=test_sequence,
+        history_len=history_len,
+        name="compare_schemes",
     )
+    cells = [
+        ExperimentSpec(scenario=inline, scheme=scheme, train=precompute)
+        for scheme in schemes
+    ]
+    results = Study(cells).run(engine=_resolve_engine(engine, backend))
+    return {record.scheme: record.result for record in results}
 
 
 def fluctuation_experiment(
@@ -173,8 +202,12 @@ def fluctuation_experiment(
     worst_case: bool = False,
     seed: int = 0,
     engine: EvaluationEngine | None = None,
+    backend: str | None = None,
 ) -> dict[float, dict[str, float]]:
     """Performance decline under injected traffic fluctuations (Tables 3 and 5).
+
+    .. deprecated:: prefer a fluctuation-perturbation axis in a
+        :class:`repro.study.Study` spec; this facade is a thin shim over it.
 
     Args:
         scheme: A scheme already trained on ``train_sequence``.
@@ -186,21 +219,45 @@ def fluctuation_experiment(
             Table 5 instead of the natural fluctuation of Table 3.
         seed: RNG seed for the injected noise.
         engine: Evaluation engine to use (the shared default if omitted).
+        backend: Array backend for the replay hot path (see
+            :mod:`repro.backend`); ignored when ``engine`` is given.
 
     Returns:
         ``{alpha: {"average_decline": .., "p90_decline": ..}}`` where declines
         are relative increases of the mean / 90th-percentile normalised MLU
         versus the unperturbed test trace (negative = no degradation).
     """
-    return (engine or _DEFAULT_ENGINE).fluctuation_experiment(
-        scheme,
-        test_sequence,
-        train_sequence,
-        history_len,
-        alphas=alphas,
-        worst_case=worst_case,
-        seed=seed,
+    from repro.study import ExperimentSpec, InlineScenario, Study
+
+    inline = InlineScenario(
+        paths=scheme.path_set,
+        train=train_sequence,
+        test=test_sequence,
+        history_len=history_len,
+        name="fluctuation_experiment",
     )
+    cells = [
+        ExperimentSpec(
+            scenario=inline,
+            scheme=scheme,
+            train=False,
+            perturbation={
+                "kind": "fluctuation",
+                "alpha": alpha,
+                "worst_case": worst_case,
+                "seed": seed,
+            },
+        )
+        for alpha in alphas
+    ]
+    results = Study(cells).run(engine=_resolve_engine(engine, backend))
+    return {
+        alpha: {
+            "average_decline": record.metrics["average_decline"],
+            "p90_decline": record.metrics["p90_decline"],
+        }
+        for alpha, record in zip(alphas, results)
+    }
 
 
 def drift_experiment(
@@ -209,6 +266,7 @@ def drift_experiment(
     history_len: int,
     segments: tuple[tuple[float, float], ...] = ((0.0, 0.25), (0.25, 0.5), (0.5, 0.75)),
     engine: EvaluationEngine | None = None,
+    backend: str | None = None,
 ) -> dict[str, dict[str, float]]:
     """Natural-drift experiment (Table 4).
 
@@ -216,12 +274,37 @@ def drift_experiment(
     segment of the trace and tested on the final 25%; declines are relative
     to a scheme trained on the full first 75%.
 
+    .. deprecated:: prefer a drift-perturbation axis in a
+        :class:`repro.study.Study` spec; this facade is a thin shim over it.
+
     Returns:
         ``{"0%-25%": {"average_decline": .., "p90_decline": ..}, ...}``.
     """
-    return (engine or _DEFAULT_ENGINE).drift_experiment(
-        scheme_factory, traffic, history_len, segments=segments
+    from repro.study import ExperimentSpec, InlineScenario, Study
+
+    inline = InlineScenario(
+        paths=None,
+        traffic=traffic,
+        history_len=history_len,
+        name="drift_experiment",
     )
+    cells = [
+        ExperimentSpec(
+            scenario=inline,
+            scheme=scheme_factory,
+            perturbation={"kind": "drift", "train_segment": segment},
+        )
+        for segment in segments
+    ]
+    results = Study(cells).run(engine=_resolve_engine(engine, backend))
+    outcome: dict[str, dict[str, float]] = {}
+    for (start, end), record in zip(segments, results):
+        label = f"{int(start * 100)}%-{int(end * 100)}%"
+        outcome[label] = {
+            "average_decline": record.metrics["average_decline"],
+            "p90_decline": record.metrics["p90_decline"],
+        }
+    return outcome
 
 
 def failure_experiment(
@@ -233,6 +316,7 @@ def failure_experiment(
     fault_aware_names: tuple[str, ...] = ("FA Des TE",),
     seed: int = 0,
     engine: EvaluationEngine | None = None,
+    backend: str | None = None,
 ) -> dict[str, np.ndarray]:
     """Link-failure experiment (Figures 7, 14 and 15).
 
@@ -243,16 +327,40 @@ def failure_experiment(
     ``set_failures``).  MLUs are normalised by an oracle that knows both the
     demand and the failures (it solves the LP restricted to surviving paths).
 
+    .. deprecated:: prefer a failure-perturbation axis in a
+        :class:`repro.study.Study` spec; this facade is a thin shim over it.
+        Per-trial failure patterns depend only on ``seed``, and the failure
+        oracle is LP-cached, so per-scheme study cells reproduce this
+        facade's multi-scheme results bit-for-bit at no extra solve cost.
+
     Returns:
         Mapping from scheme name to an array of normalised MLUs (one entry
         per trial x evaluated interval).
     """
-    return (engine or _DEFAULT_ENGINE).failure_experiment(
-        schemes,
-        test_sequence,
-        history_len,
-        num_failures,
-        num_trials=num_trials,
-        fault_aware_names=fault_aware_names,
-        seed=seed,
+    from repro.study import ExperimentSpec, InlineScenario, Study
+
+    schemes = list(schemes)
+    path_set = EvaluationEngine._require_shared_path_set(schemes)
+    inline = InlineScenario(
+        paths=path_set,
+        test=test_sequence,
+        history_len=history_len,
+        name="failure_experiment",
     )
+    cells = [
+        ExperimentSpec(
+            scenario=inline,
+            scheme=scheme,
+            train=False,
+            perturbation={
+                "kind": "failure",
+                "num_failures": num_failures,
+                "num_trials": num_trials,
+                "seed": seed,
+                "fault_aware": scheme.name in fault_aware_names,
+            },
+        )
+        for scheme in schemes
+    ]
+    results = Study(cells).run(engine=_resolve_engine(engine, backend))
+    return {record.scheme: record.series for record in results}

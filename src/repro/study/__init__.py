@@ -1,0 +1,47 @@
+"""Declarative experiment-spec API: studies over scenarios x schemes x perturbations.
+
+The paper's evaluation is a grid -- topologies x traffic models x schemes x
+perturbation/failure profiles.  This package exposes that grid as data: an
+:class:`ExperimentSpec` describes one cell with plain dicts, :class:`sweep`
+marks grid axes, :class:`Study` expands and executes the grid (deduplicating
+scenario builds, scheme trainings, baseline replays and LP normaliser
+solves), and :class:`ResultSet` collects uniform records with spec
+provenance and a lossless JSON round-trip.
+
+>>> from repro.study import Study, sweep
+>>> results = Study({
+...     "scenario": sweep("geant_small", "pfabric_small"),
+...     "scheme": sweep({"kind": "figret"}, {"kind": "dote"}),
+...     "perturbation": sweep({"kind": "none"},
+...                           {"kind": "fluctuation", "alpha": 1.0}),
+...     "max_intervals": 30,
+... }).run()
+>>> print(results.to_table())
+
+Run a JSON spec from the shell with ``python -m repro.study spec.json``.
+"""
+
+from repro.study.results import ResultSet, StudyResult
+from repro.study.spec import (
+    ExperimentSpec,
+    InlineScenario,
+    available_schemes,
+    build_scheme,
+    expand_spec,
+    register_scheme,
+    sweep,
+)
+from repro.study.study import Study
+
+__all__ = [
+    "Study",
+    "ExperimentSpec",
+    "InlineScenario",
+    "ResultSet",
+    "StudyResult",
+    "sweep",
+    "expand_spec",
+    "register_scheme",
+    "available_schemes",
+    "build_scheme",
+]

@@ -1,0 +1,73 @@
+"""Run a declarative study from the command line.
+
+Usage::
+
+    python -m repro.study spec.json [--out results.json] [--backend numpy]
+    python -m repro.study --list-scenarios
+    python -m repro.study --list-schemes
+
+The spec file is a JSON study spec (sweep axes spelled ``{"sweep": [...]}``);
+the run prints the result table and optionally writes the full
+:class:`~repro.study.results.ResultSet` (spec provenance + series) to
+``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.study.spec import available_schemes
+from repro.study.study import Study
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study",
+        description="Expand and run a declarative experiment-study spec.",
+    )
+    parser.add_argument("spec", nargs="?", help="path to a JSON study spec")
+    parser.add_argument("--out", help="write the full ResultSet JSON here")
+    parser.add_argument("--backend", help="array backend for the replay hot path")
+    parser.add_argument(
+        "--lp-workers",
+        default=None,
+        help="LP process-pool width for cold normaliser batches ('auto' or an int)",
+    )
+    parser.add_argument(
+        "--list-scenarios", action="store_true", help="print registered scenarios and exit"
+    )
+    parser.add_argument(
+        "--list-schemes", action="store_true", help="print registered scheme kinds and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_scenarios:
+        from repro.datasets import available_scenarios
+
+        print("\n".join(available_scenarios()))
+        return 0
+    if args.list_schemes:
+        print("\n".join(available_schemes()))
+        return 0
+    if not args.spec:
+        parser.error("a spec file is required (or --list-scenarios / --list-schemes)")
+
+    with open(args.spec, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    lp_workers = args.lp_workers
+    if lp_workers is not None and lp_workers != "auto":
+        lp_workers = int(lp_workers)
+    study = Study(spec)
+    print(f"Running {len(study)} experiment cell(s) ...")
+    results = study.run(backend=args.backend, lp_workers=lp_workers)
+    print(results.to_table(title=f"Study results ({args.spec})"))
+    if args.out:
+        path = results.save(args.out)
+        print(f"\nWrote {len(results)} records to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

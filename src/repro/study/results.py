@@ -1,0 +1,237 @@
+"""Uniform study results: per-cell records with spec provenance.
+
+Every executed cell produces one :class:`StudyResult` -- scenario / scheme /
+experiment labels, the cell's plain-dict spec (provenance), a flat metrics
+dict, and the normalised-MLU series.  A :class:`ResultSet` is the ordered
+collection with filtering, table rendering (through
+:mod:`repro.evaluation.reporting`) and a lossless JSON round-trip, so a grid
+run can be stored next to the paper's tables and re-loaded for comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
+from repro.evaluation.reporting import format_table
+
+__all__ = ["StudyResult", "ResultSet"]
+
+#: On-disk format marker / version of serialized result sets.
+RESULTSET_FORMAT = "repro-study-resultset"
+RESULTSET_VERSION = 1
+
+#: Metric columns shown by :meth:`ResultSet.to_table` when present.
+_DEFAULT_TABLE_METRICS = (
+    "mean",
+    "p90",
+    "p99",
+    "worst",
+    "severe_congestion_fraction",
+    "average_decline",
+    "p90_decline",
+)
+
+
+@dataclass
+class StudyResult:
+    """Outcome of one experiment cell.
+
+    Attributes:
+        scenario: Scenario display name.
+        scheme: Scheme display name (the spec's ``label`` when given).
+        experiment: Cell kind: ``replay`` / ``fluctuation`` / ``failure`` /
+            ``drift``.
+        spec: JSON-safe provenance -- the cell spec that produced this record.
+        metrics: Flat metric dict (normalised-MLU statistics, declines, ...).
+        series: Per-interval normalised MLUs (``None`` for records loaded
+            from trimmed JSON).
+        result: The in-memory :class:`~repro.evaluation.engine.
+            EvaluationResult` for replay-style cells (not serialized).
+    """
+
+    scenario: str
+    scheme: str
+    experiment: str
+    spec: dict
+    metrics: dict
+    series: np.ndarray | None = None
+    result: object | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def statistics(self) -> MLUStatistics:
+        """Summary statistics recomputed from the stored series."""
+        if self.series is None:
+            raise ValueError("record has no stored series")
+        return normalized_mlu_statistics(self.series)
+
+    def to_dict(self, include_series: bool = True) -> dict:
+        record = {
+            "scenario": self.scenario,
+            "scheme": self.scheme,
+            "experiment": self.experiment,
+            "spec": self.spec,
+            "metrics": self.metrics,
+        }
+        if include_series and self.series is not None:
+            record["series"] = np.asarray(self.series, dtype=float).tolist()
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "StudyResult":
+        series = record.get("series")
+        return cls(
+            scenario=record["scenario"],
+            scheme=record["scheme"],
+            experiment=record["experiment"],
+            spec=record.get("spec", {}),
+            metrics=record.get("metrics", {}),
+            series=np.asarray(series, dtype=float) if series is not None else None,
+        )
+
+
+def _matches(value: str, selector) -> bool:
+    if selector is None:
+        return True
+    if callable(selector):
+        return bool(selector(value))
+    if isinstance(selector, str):
+        return value == selector
+    return value in selector
+
+
+class ResultSet:
+    """Ordered collection of :class:`StudyResult` records."""
+
+    def __init__(self, results: Iterable[StudyResult] = ()) -> None:
+        self.results: list[StudyResult] = list(results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[StudyResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self.results[index])
+        return self.results[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ResultSet({len(self.results)} records)"
+
+    # ------------------------------------------------------------------ #
+    # Selection
+    # ------------------------------------------------------------------ #
+    def filter(
+        self,
+        scenario=None,
+        scheme=None,
+        experiment=None,
+        where: Callable[[StudyResult], bool] | None = None,
+    ) -> "ResultSet":
+        """Select records by scenario / scheme / experiment (and a predicate).
+
+        Each selector is a string (exact match), a collection of strings, or
+        a callable over the label; ``where`` sees the whole record.
+        """
+        selected = [
+            record
+            for record in self.results
+            if _matches(record.scenario, scenario)
+            and _matches(record.scheme, scheme)
+            and _matches(record.experiment, experiment)
+            and (where is None or where(record))
+        ]
+        return ResultSet(selected)
+
+    def only(self, **selectors) -> StudyResult:
+        """The single record matching the selectors (raise otherwise)."""
+        matches = self.filter(**selectors)
+        if len(matches) != 1:
+            raise ValueError(f"expected exactly one matching record, found {len(matches)}")
+        return matches[0]
+
+    def scheme_statistics(self, scenario=None) -> dict[str, MLUStatistics]:
+        """Per-scheme statistics of the plain-replay records (Figure 5 style)."""
+        return {
+            record.scheme: record.statistics
+            for record in self.filter(scenario=scenario, experiment="replay")
+            if record.series is not None
+        }
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def to_table(
+        self,
+        metrics: Sequence[str] | None = None,
+        title: str | None = None,
+        float_format: str = "{:.3f}",
+    ) -> str:
+        """Render the records as an aligned ASCII table.
+
+        Args:
+            metrics: Metric columns; defaults to the common ones present in
+                at least one record, in canonical order.
+            title: Optional table title.
+            float_format: Format applied to float metric values.
+        """
+        if metrics is None:
+            present = set()
+            for record in self.results:
+                present.update(record.metrics)
+            metrics = [name for name in _DEFAULT_TABLE_METRICS if name in present]
+        headers = ["scenario", "scheme", "experiment", *metrics]
+        rows = []
+        for record in self.results:
+            row: list[object] = [record.scenario, record.scheme, record.experiment]
+            for name in metrics:
+                value = record.metrics.get(name)
+                if isinstance(value, float):
+                    row.append(float_format.format(value))
+                else:
+                    row.append("" if value is None else value)
+            rows.append(row)
+        return format_table(headers, rows, title=title)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def to_json(self, indent: int | None = 2, include_series: bool = True) -> str:
+        """Serialize to JSON (spec provenance and series included)."""
+        payload = {
+            "format": RESULTSET_FORMAT,
+            "version": RESULTSET_VERSION,
+            "results": [record.to_dict(include_series=include_series) for record in self.results],
+        }
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        """Rebuild a result set from :meth:`to_json` output."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict) or payload.get("format") != RESULTSET_FORMAT:
+            raise ValueError("not a repro study result-set document")
+        if payload.get("version") != RESULTSET_VERSION:
+            raise ValueError(
+                f"unsupported result-set version {payload.get('version')!r} "
+                f"(this build reads version {RESULTSET_VERSION})"
+            )
+        return cls(StudyResult.from_dict(record) for record in payload.get("results", []))
+
+    def save(self, path) -> Path:
+        """Write :meth:`to_json` output to ``path``."""
+        path = Path(path).expanduser()
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "ResultSet":
+        """Read a result set saved with :meth:`save`."""
+        return cls.from_json(Path(path).expanduser().read_text(encoding="utf-8"))

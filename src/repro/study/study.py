@@ -1,0 +1,563 @@
+"""The :class:`Study` orchestrator: expand a spec grid, dedup, execute.
+
+A study turns a declarative spec (see :mod:`repro.study.spec`) into a
+:class:`~repro.study.results.ResultSet` by running every cell through the
+batched/streaming :class:`~repro.evaluation.engine.EvaluationEngine`.  The
+orchestration layer's whole job is deduplicating the shared work of a grid:
+
+* **Scenarios** are built once per distinct scenario reference (name + seed +
+  trace length, or canonical inline config) and shared by every cell.
+* **Schemes** are trained once per distinct scheme spec per scenario (and per
+  drift training segment); the scheme axis of a grid never retrains.
+* **Baseline replays** (the unperturbed run that fluctuation / drift declines
+  are measured against) run once per scenario x scheme x eval knobs.
+* **LP normalisers** are served by the engine's
+  :class:`~repro.solvers.lp.OptimalMLUCache` -- one optimal-MLU pass per
+  distinct demand matrix across the *whole* grid, so adding schemes or
+  re-running a study never repeats an LP solve (assert it with
+  :func:`~repro.solvers.lp.count_lp_solves`).  Cold solves fan out over the
+  LP process pool when ``lp_workers`` is set.
+
+Pass ``scheme_cache`` / ``scenario_cache`` dicts to share the first two
+dedup layers across studies in one process (the benchmark harness does).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets import registry as datasets_registry
+from repro.datasets.registry import Scenario
+from repro.evaluation.engine import EvaluationEngine, EvaluationResult
+from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
+from repro.paths.path_set import PathSet
+from repro.solvers.lp import shared_cache
+from repro.study.results import ResultSet, StudyResult
+from repro.study.spec import (
+    ExperimentSpec,
+    InlineScenario,
+    build_scheme,
+    expand_spec,
+    scenario_cache_key,
+)
+from repro.te.scheme import TEScheme
+from repro.traffic.matrix import TrafficMatrixSequence
+from repro.traffic.perturb import gaussian_fluctuation, reverse_rank_fluctuation
+
+__all__ = ["Study"]
+
+
+@dataclass
+class _ScenarioContext:
+    """A scenario resolved into the pieces cell execution needs."""
+
+    key: str
+    name: str
+    paths: PathSet | None
+    train: TrafficMatrixSequence | None
+    test: TrafficMatrixSequence | None
+    traffic: TrafficMatrixSequence | None
+    history_len: int | None
+    _pair_std: np.ndarray | None = None
+
+    def pair_std(self) -> np.ndarray:
+        """The training split's per-pair std (computed once per scenario)."""
+        if self._pair_std is None:
+            self._pair_std = self.train.pair_std()
+        return self._pair_std
+
+
+class Study:
+    """Declarative experiment orchestrator.
+
+    Args:
+        spec: A study spec mapping (sweep axes expand into the grid), an
+            :class:`ExperimentSpec`, or an iterable of either.  ``None``
+            starts empty (use :meth:`add`, or just the :meth:`scenario` /
+            :meth:`trained_scheme` dedup helpers).
+        scheme_cache: Optional dict holding trained schemes keyed by
+            (scenario, scheme spec, training segment); pass a shared dict to
+            reuse trainings across studies.
+        scenario_cache: Optional dict holding built scenarios keyed by
+            canonical reference; shareable the same way.
+
+    Example::
+
+        study = Study({
+            "scenario": sweep("geant_small", "pfabric_small"),
+            "scheme": sweep({"kind": "figret"}, {"kind": "dote"}),
+            "perturbation": sweep({"kind": "none"},
+                                  {"kind": "fluctuation", "alpha": 1.0}),
+        })
+        results = study.run()
+        print(results.to_table())
+    """
+
+    def __init__(
+        self,
+        spec=None,
+        scheme_cache: dict | None = None,
+        scenario_cache: dict | None = None,
+    ) -> None:
+        self.specs: list[ExperimentSpec] = []
+        self._scheme_cache = scheme_cache if scheme_cache is not None else {}
+        # Live-instance / factory schemes key by object identity, which is
+        # only stable while this study's specs pin the objects -- so they
+        # dedup per study and never enter the (possibly shared) scheme_cache.
+        self._object_scheme_cache: dict = {}
+        self._scenario_cache = scenario_cache if scenario_cache is not None else {}
+        self._baselines: dict[tuple, tuple[EvaluationResult, MLUStatistics]] = {}
+        self._contexts: dict[str, _ScenarioContext] = {}
+        self._test_slices: dict[tuple, TrafficMatrixSequence] = {}
+        if spec is not None:
+            self.add(spec)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping, **kwargs) -> "Study":
+        """Build a study from a plain-dict spec (sweep axes expanded)."""
+        return cls(spec, **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str, **kwargs) -> "Study":
+        """Build a study from a JSON spec document."""
+        return cls(json.loads(text), **kwargs)
+
+    def add(self, spec) -> "Study":
+        """Append cells: a spec mapping (expanded), a cell, or an iterable."""
+        if isinstance(spec, ExperimentSpec):
+            self.specs.append(spec)
+        elif isinstance(spec, Mapping):
+            self.specs.extend(ExperimentSpec.from_dict(cell) for cell in expand_spec(spec))
+        elif isinstance(spec, Iterable) and not isinstance(spec, (str, bytes)):
+            for item in spec:
+                self.add(item)
+        else:
+            raise TypeError(
+                "Study accepts a spec mapping, an ExperimentSpec, or an iterable of those; "
+                f"got {type(spec).__name__}"
+            )
+        return self
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        engine: EvaluationEngine | None = None,
+        backend: str | None = None,
+        lp_workers: int | str | None = None,
+    ) -> ResultSet:
+        """Execute every cell and collect the uniform result records.
+
+        Args:
+            engine: Evaluation engine (the process-wide default -- and its
+                shared LP cache -- if omitted).
+            backend: Array backend for the replay hot path; when given
+                without an explicit engine, a backend-pinned engine sharing
+                the process-wide LP cache is used.
+            lp_workers: LP process-pool width for cold normaliser batches
+                (``"auto"`` derives one from the CPU count).
+        """
+        engine = self._resolve_engine(engine, backend, lp_workers)
+        return ResultSet(self._run_cell(cell, engine) for cell in self.specs)
+
+    @staticmethod
+    def _resolve_engine(
+        engine: EvaluationEngine | None,
+        backend: str | None,
+        lp_workers: int | str | None,
+    ) -> EvaluationEngine:
+        if engine is not None:
+            return engine
+        if backend is None and lp_workers is None:
+            from repro.evaluation.runner import default_engine
+
+            return default_engine()
+        return EvaluationEngine(cache=shared_cache(), lp_workers=lp_workers, backend=backend)
+
+    # ------------------------------------------------------------------ #
+    # Shared-work resolution (the dedup layers)
+    # ------------------------------------------------------------------ #
+    def scenario(self, reference) -> Scenario | InlineScenario:
+        """Resolve (and cache) a scenario reference of any accepted form."""
+        key = scenario_cache_key(reference)
+        cached = self._scenario_cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(reference, (Scenario, InlineScenario)):
+            scenario = reference
+        elif isinstance(reference, str):
+            scenario = datasets_registry.load(reference)
+        elif isinstance(reference, Mapping):
+            if "name" in reference and "topology" not in reference:
+                scenario = datasets_registry.load(
+                    reference["name"],
+                    seed=reference.get("seed", 0),
+                    num_intervals=reference.get("num_intervals"),
+                )
+            else:
+                scenario = datasets_registry.from_config(reference)
+        else:
+            raise TypeError(
+                "scenario must be a registered name, a registry reference dict, an inline "
+                f"config dict, or a Scenario; got {type(reference).__name__}"
+            )
+        self._scenario_cache[key] = scenario
+        return scenario
+
+    def _context(self, cell: ExperimentSpec) -> _ScenarioContext:
+        key = cell.scenario_key
+        ctx = self._contexts.get(key)
+        if ctx is not None:
+            return ctx
+        scenario = self.scenario(cell.scenario)
+        if isinstance(scenario, InlineScenario):
+            ctx = _ScenarioContext(
+                key=key,
+                name=scenario.name,
+                paths=scenario.paths,
+                train=scenario.train,
+                test=scenario.test,
+                traffic=scenario.traffic,
+                history_len=scenario.history_len,
+            )
+        else:
+            train, test = scenario.split()
+            ctx = _ScenarioContext(
+                key=key,
+                name=scenario.name,
+                paths=scenario.paths,
+                train=train,
+                test=test,
+                traffic=scenario.traffic,
+                history_len=scenario.history_len,
+            )
+        self._contexts[key] = ctx
+        return ctx
+
+    def trained_scheme(
+        self, cell: ExperimentSpec | Mapping, engine: EvaluationEngine | None = None
+    ) -> TEScheme:
+        """Resolve (and cache) the trained scheme a cell would evaluate.
+
+        Exposed so callers can pre-train a grid's schemes -- or share one
+        training across studies via a common ``scheme_cache`` -- without
+        running any replay.
+        """
+        if not isinstance(cell, ExperimentSpec):
+            cell = ExperimentSpec.from_dict(cell)
+        engine = self._resolve_engine(engine, None, None)
+        ctx = self._context(cell)
+        return self._resolve_scheme(cell, ctx, engine, ctx.train, "default")
+
+    def _resolve_scheme(
+        self,
+        cell: ExperimentSpec,
+        ctx: _ScenarioContext,
+        engine: EvaluationEngine,
+        train_sequence: TrafficMatrixSequence | None,
+        train_key: str,
+    ) -> TEScheme:
+        cache = self._scheme_cache if isinstance(cell.scheme, Mapping) else self._object_scheme_cache
+        key = (ctx.key, cell.scheme_key, train_key)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(cell.scheme, TEScheme):
+            scheme = cell.scheme
+        elif isinstance(cell.scheme, Mapping):
+            if ctx.paths is None:
+                raise ValueError(
+                    f"cell scenario {ctx.name!r} provides no path set to build scheme "
+                    f"{cell.scheme.get('kind')!r} on"
+                )
+            scheme = build_scheme(
+                cell.scheme, ctx.paths, cache=engine.cache, lp_workers=engine.lp_workers
+            )
+        elif callable(cell.scheme):
+            scheme = cell.scheme()
+        else:
+            raise TypeError(
+                "scheme must be a spec dict, a TEScheme, or a zero-argument factory; "
+                f"got {type(cell.scheme).__name__}"
+            )
+        if ctx.paths is not None and scheme.path_set.fingerprint != ctx.paths.fingerprint:
+            raise ValueError(
+                f"scheme {scheme.name!r} uses a different path set than scenario "
+                f"{ctx.name!r}; schemes under one scenario must share its PathSet so "
+                "their normalised MLUs are comparable"
+            )
+        if cell.train:
+            if train_sequence is None:
+                raise ValueError(
+                    f"scenario {ctx.name!r} provides no training data; pass train=False "
+                    "for pre-trained schemes or use a scenario with a training split"
+                )
+            scheme.precompute(train_sequence)
+        cache[key] = scheme
+        return scheme
+
+    # ------------------------------------------------------------------ #
+    # Cell execution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _history_len(cell: ExperimentSpec, ctx: _ScenarioContext) -> int:
+        history = cell.history_len if cell.history_len is not None else ctx.history_len
+        if history is None:
+            raise ValueError(
+                f"cell on scenario {ctx.name!r} has no history_len (set it on the cell "
+                "or the scenario)"
+            )
+        return history
+
+    def _sliced_test(
+        self,
+        ctx_key: str,
+        test: TrafficMatrixSequence,
+        history_len: int,
+        max_intervals: int | None,
+    ) -> TrafficMatrixSequence:
+        """Cap the test split at ``history_len + max_intervals`` rows.
+
+        Sliced once per scenario x knobs -- every cell of a grid row shares
+        the same sequence object.
+        """
+        if max_intervals is None:
+            return test
+        key = (ctx_key, id(test), history_len, max_intervals)
+        sliced = self._test_slices.get(key)
+        if sliced is None:
+            limit = history_len + max_intervals
+            sliced = test[: min(len(test), limit)]
+            self._test_slices[key] = sliced
+        return sliced
+
+    def _drift_test_segment(
+        self, ctx: _ScenarioContext, traffic: TrafficMatrixSequence, test_segment: tuple
+    ) -> TrafficMatrixSequence:
+        """The drift protocol's held-out test slice (cut once per scenario)."""
+        key = (ctx.key, "drift_test", test_segment)
+        cached = self._test_slices.get(key)
+        if cached is None:
+            cached = traffic.segment(*test_segment)
+            self._test_slices[key] = cached
+        return cached
+
+    def _replay(
+        self,
+        cell: ExperimentSpec,
+        engine: EvaluationEngine,
+        scheme: TEScheme,
+        test: TrafficMatrixSequence,
+        history_len: int,
+    ) -> EvaluationResult:
+        if cell.streaming:
+            return engine.evaluate_streaming(
+                scheme,
+                test,
+                history_len,
+                chunk_size=cell.chunk_size,
+                oracle_demand=cell.oracle_demand,
+            )
+        return engine.evaluate_scheme(
+            scheme, test, history_len, oracle_demand=cell.oracle_demand
+        )
+
+    def _baseline(
+        self,
+        cell: ExperimentSpec,
+        engine: EvaluationEngine,
+        ctx: _ScenarioContext,
+        scheme: TEScheme,
+        test: TrafficMatrixSequence,
+        history_len: int,
+        train_key: str = "default",
+    ) -> tuple[EvaluationResult, MLUStatistics]:
+        """The unperturbed replay of a cell (one per scenario x scheme x knobs)."""
+        key = (ctx.key, cell.scheme_key, cell.eval_key, train_key)
+        cached = self._baselines.get(key)
+        if cached is None:
+            result = self._replay(cell, engine, scheme, test, history_len)
+            cached = (result, result.statistics)
+            self._baselines[key] = cached
+        return cached
+
+    @staticmethod
+    def _scheme_label(cell: ExperimentSpec, scheme: TEScheme) -> str:
+        if isinstance(cell.scheme, Mapping) and cell.scheme.get("label"):
+            return str(cell.scheme["label"])
+        return scheme.name
+
+    def _record(
+        self,
+        cell: ExperimentSpec,
+        ctx: _ScenarioContext,
+        scheme_label: str,
+        experiment: str,
+        metrics: dict,
+        series: np.ndarray | None,
+        result: EvaluationResult | None = None,
+    ) -> StudyResult:
+        return StudyResult(
+            scenario=ctx.name,
+            scheme=scheme_label,
+            experiment=experiment,
+            spec=cell.to_dict(),
+            metrics=metrics,
+            series=series,
+            result=result,
+        )
+
+    def _run_cell(self, cell: ExperimentSpec, engine: EvaluationEngine) -> StudyResult:
+        ctx = self._context(cell)
+        kind = cell.perturbation["kind"]
+        if kind == "drift":
+            return self._run_drift(cell, ctx, engine)
+        if ctx.test is None:
+            raise ValueError(f"scenario {ctx.name!r} provides no test sequence")
+        history_len = self._history_len(cell, ctx)
+        test = self._sliced_test(ctx.key, ctx.test, history_len, cell.max_intervals)
+        scheme = self._resolve_scheme(cell, ctx, engine, ctx.train, "default")
+        if kind == "none":
+            result, stats = self._baseline(cell, engine, ctx, scheme, test, history_len)
+            metrics = dict(vars(stats))
+            return self._record(
+                cell,
+                ctx,
+                self._scheme_label(cell, scheme),
+                "replay",
+                metrics,
+                result.normalized_mlus,
+                result,
+            )
+        if kind == "fluctuation":
+            return self._run_fluctuation(cell, ctx, engine, scheme, test, history_len)
+        return self._run_failure(cell, ctx, engine, scheme, test, history_len)
+
+    def _run_fluctuation(
+        self, cell, ctx, engine, scheme, test, history_len
+    ) -> StudyResult:
+        perturbation = cell.perturbation
+        if ctx.train is None:
+            raise ValueError(
+                f"scenario {ctx.name!r} provides no training split (fluctuation cells "
+                "need it for the per-pair reference std)"
+            )
+        _, base_stats = self._baseline(cell, engine, ctx, scheme, test, history_len)
+        perturb = reverse_rank_fluctuation if perturbation["worst_case"] else gaussian_fluctuation
+        perturbed = perturb(
+            test, perturbation["alpha"], ctx.pair_std(), seed=perturbation["seed"]
+        )
+        result = self._replay(cell, engine, scheme, perturbed, history_len)
+        stats = result.statistics
+        metrics = dict(vars(stats))
+        metrics["average_decline"] = stats.mean / base_stats.mean - 1.0
+        metrics["p90_decline"] = stats.p90 / base_stats.p90 - 1.0
+        return self._record(
+            cell,
+            ctx,
+            self._scheme_label(cell, scheme),
+            "fluctuation",
+            metrics,
+            result.normalized_mlus,
+            result,
+        )
+
+    def _run_failure(self, cell, ctx, engine, scheme, test, history_len) -> StudyResult:
+        perturbation = cell.perturbation
+        if cell.streaming or cell.oracle_demand:
+            raise ValueError(
+                "failure cells replay through the batched failure protocol; the "
+                "streaming and oracle_demand knobs do not apply to them"
+            )
+        fault_aware = perturbation["fault_aware"]
+        if fault_aware is None:
+            fault_aware = hasattr(scheme, "set_failures")
+        names = (scheme.name,) if fault_aware else ()
+        try:
+            series = engine.failure_experiment(
+                [scheme],
+                test,
+                history_len,
+                perturbation["num_failures"],
+                num_trials=perturbation["num_trials"],
+                fault_aware_names=names,
+                seed=perturbation["seed"],
+            )[scheme.name]
+        finally:
+            # The failure protocol mutates fault-aware schemes (set_failures
+            # per trial); clear the last trial's failures so other cells
+            # reusing this cached scheme replay an intact network.
+            if fault_aware and hasattr(scheme, "set_failures"):
+                scheme.set_failures(set())
+        metrics = dict(vars(normalized_mlu_statistics(series)))
+        return self._record(
+            cell, ctx, self._scheme_label(cell, scheme), "failure", metrics, series
+        )
+
+    def _run_drift(self, cell: ExperimentSpec, ctx, engine) -> StudyResult:
+        perturbation = cell.perturbation
+        if isinstance(cell.scheme, TEScheme):
+            raise ValueError(
+                "drift cells retrain from scratch per segment; pass a scheme spec dict "
+                "or a zero-argument factory instead of a live instance"
+            )
+        if not cell.train:
+            raise ValueError(
+                "drift cells measure decline from retraining, which train=False "
+                "disables; drop train=False (there is no pre-trained scheme to protect)"
+            )
+        traffic = ctx.traffic
+        if traffic is None:
+            raise ValueError(
+                f"scenario {ctx.name!r} provides no full traffic sequence (drift cells "
+                "re-split it into training segments)"
+            )
+        test_segment = tuple(float(v) for v in perturbation["test_segment"])
+        train_segment = tuple(float(v) for v in perturbation["train_segment"])
+        history_len = self._history_len(cell, ctx)
+        test_full = self._drift_test_segment(ctx, traffic, test_segment)
+        test = self._sliced_test(ctx.key, test_full, history_len, cell.max_intervals)
+
+        baseline_key = f"segment:0.0-{test_segment[0]}"
+        baseline_scheme = self._resolve_scheme(
+            cell, ctx, engine, traffic.segment(0.0, test_segment[0]), baseline_key
+        )
+        # The replay cache key carries the test segment too: two drift cells
+        # sharing a training prefix but held out on different slices must not
+        # reuse one another's baseline replay.
+        _, base_stats = self._baseline(
+            cell,
+            engine,
+            ctx,
+            baseline_scheme,
+            test,
+            history_len,
+            train_key=f"{baseline_key}|test:{test_segment[0]}-{test_segment[1]}",
+        )
+
+        segment_key = f"segment:{train_segment[0]}-{train_segment[1]}"
+        scheme = self._resolve_scheme(
+            cell, ctx, engine, traffic.segment(*train_segment), segment_key
+        )
+        result = self._replay(cell, engine, scheme, test, history_len)
+        stats = result.statistics
+        metrics = dict(vars(stats))
+        metrics["average_decline"] = stats.mean / base_stats.mean - 1.0
+        metrics["p90_decline"] = stats.p90 / base_stats.p90 - 1.0
+        return self._record(
+            cell,
+            ctx,
+            self._scheme_label(cell, scheme),
+            "drift",
+            metrics,
+            result.normalized_mlus,
+            result,
+        )

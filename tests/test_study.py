@@ -1,0 +1,515 @@
+"""The declarative study layer: spec expansion, registries, orchestration.
+
+Includes the acceptance grid of the API redesign: a 3-scenario x 3-scheme x
+2-perturbation grid declared as one plain dict, executed with zero repeat LP
+solves across cells, whose ResultSet round-trips through JSON with spec
+provenance intact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    available_scenarios,
+    from_config,
+    load,
+    register_scenario,
+    unregister_scenario,
+)
+from repro.evaluation.engine import EvaluationEngine
+from repro.solvers.lp import OptimalMLUCache, count_lp_solves
+from repro.study import (
+    ExperimentSpec,
+    ResultSet,
+    Study,
+    available_schemes,
+    build_scheme,
+    expand_spec,
+    register_scheme,
+    sweep,
+)
+from repro.study.__main__ import main as study_cli
+
+
+# --------------------------------------------------------------------------- #
+# Spec expansion
+# --------------------------------------------------------------------------- #
+class TestExpandSpec:
+    def test_no_sweep_is_single_cell(self):
+        spec = {"scenario": "geant_small", "scheme": {"kind": "dote"}}
+        assert expand_spec(spec) == [spec]
+
+    def test_cross_product_order(self):
+        spec = {
+            "scenario": sweep("a", "b"),
+            "scheme": {"kind": "dote"},
+            "perturbation": sweep({"kind": "none"}, {"kind": "fluctuation", "alpha": 1.0}),
+        }
+        cells = expand_spec(spec)
+        assert len(cells) == 4
+        # First axis (discovery order) varies slowest, last varies fastest.
+        assert [cell["scenario"] for cell in cells] == ["a", "a", "b", "b"]
+        assert [cell["perturbation"]["kind"] for cell in cells] == [
+            "none", "fluctuation", "none", "fluctuation",
+        ]
+
+    def test_json_sweep_spelling(self):
+        spec = {"scenario": {"sweep": ["a", "b"]}, "scheme": {"kind": "dote"}}
+        assert [cell["scenario"] for cell in expand_spec(spec)] == ["a", "b"]
+
+    def test_nested_sweep_inside_scheme_params(self):
+        spec = {
+            "scenario": "x",
+            "scheme": {"kind": "figret", "robustness_weight": sweep(0.0, 0.1, 0.3)},
+        }
+        cells = expand_spec(spec)
+        assert [cell["scheme"]["robustness_weight"] for cell in cells] == [0.0, 0.1, 0.3]
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            sweep()
+
+
+# --------------------------------------------------------------------------- #
+# Cell validation
+# --------------------------------------------------------------------------- #
+class TestExperimentSpec:
+    def test_unknown_cell_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment spec key"):
+            ExperimentSpec.from_dict({"scenario": "x", "scheme": {"kind": "dote"}, "nope": 1})
+
+    def test_unknown_scheme_kind_listed(self):
+        with pytest.raises(ValueError, match="unknown scheme kind 'bogus'"):
+            ExperimentSpec(scenario="x", scheme={"kind": "bogus"})
+
+    def test_unknown_perturbation_kind(self):
+        with pytest.raises(ValueError, match="unknown perturbation kind"):
+            ExperimentSpec(scenario="x", scheme={"kind": "dote"}, perturbation={"kind": "melt"})
+
+    def test_perturbation_requires_parameters(self):
+        with pytest.raises(ValueError, match="requires 'alpha'"):
+            ExperimentSpec(
+                scenario="x", scheme={"kind": "dote"}, perturbation={"kind": "fluctuation"}
+            )
+
+    def test_perturbation_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            ExperimentSpec(
+                scenario="x",
+                scheme={"kind": "dote"},
+                perturbation={"kind": "fluctuation", "alpha": 1.0, "sigma": 2},
+            )
+
+    def test_scheme_label_excluded_from_dedup_key(self):
+        first = ExperimentSpec(scenario="x", scheme={"kind": "dote", "label": "A"})
+        second = ExperimentSpec(scenario="x", scheme={"kind": "dote", "label": "B"})
+        assert first.scheme_key == second.scheme_key
+
+    def test_provenance_is_json_safe(self):
+        cell = ExperimentSpec(
+            scenario={"name": "geant_small", "seed": 7},
+            scheme={"kind": "figret", "hidden_sizes": (16, 16)},
+            perturbation={"kind": "drift", "train_segment": (0.0, 0.25)},
+            max_intervals=10,
+        )
+        provenance = cell.to_dict()
+        restored = json.loads(json.dumps(provenance))
+        assert restored == provenance
+        assert restored["scheme"]["hidden_sizes"] == [16, 16]
+        assert restored["perturbation"]["train_segment"] == [0.0, 0.25]
+
+
+# --------------------------------------------------------------------------- #
+# Open registries
+# --------------------------------------------------------------------------- #
+def _tiny_config(name="cfg_mesh", seed=5, num_intervals=60):
+    return {
+        "name": name,
+        "topology": {"kind": "fully_connected", "num_nodes": 4, "capacity": 10.0},
+        "traffic": {
+            "kind": "datacenter",
+            "level": "pod",
+            "seed": seed,
+            "num_intervals": num_intervals,
+        },
+        "history_len": 3,
+    }
+
+
+class TestScenarioRegistry:
+    def test_from_config_builds_scenario(self):
+        scenario = from_config(_tiny_config())
+        assert scenario.name == "cfg_mesh"
+        assert scenario.topology.num_nodes == 4
+        assert len(scenario.traffic) == 60
+        assert scenario.history_len == 3
+        assert scenario.paths.num_sd_pairs == 12
+
+    def test_from_config_unknown_topology_kind(self):
+        config = _tiny_config()
+        config["topology"] = {"kind": "torus"}
+        with pytest.raises(ValueError, match="unknown topology kind 'torus'"):
+            from_config(config)
+
+    def test_from_config_unknown_traffic_kind(self):
+        config = _tiny_config()
+        config["traffic"] = {"kind": "nope", "num_intervals": 10}
+        with pytest.raises(ValueError, match="unknown traffic kind"):
+            from_config(config)
+
+    def test_from_config_rejects_leftover_keys(self):
+        config = _tiny_config()
+        config["wat"] = 1
+        with pytest.raises(ValueError, match="unknown scenario config key"):
+            from_config(config)
+
+    def test_from_config_rejects_unknown_topology_params(self):
+        config = _tiny_config()
+        config["topology"]["num_leaves"] = 4  # star's parameter, not fully_connected's
+        with pytest.raises(ValueError, match="unknown key.*'num_leaves'.*fully_connected"):
+            from_config(config)
+
+    def test_from_config_rejects_unknown_traffic_params(self):
+        config = _tiny_config()
+        config["traffic"]["noise"] = 0.1  # typo for noise_level, and not a dc param
+        with pytest.raises(ValueError, match="unknown key.*'noise'"):
+            from_config(config)
+
+    def test_from_config_rejects_reserved_traffic_topology_key(self):
+        config = _tiny_config()
+        config["traffic"]["topology"] = {"kind": "star"}
+        with pytest.raises(ValueError, match="unknown key.*'topology'"):
+            from_config(config)
+
+    def test_register_scenario_roundtrip(self):
+        @register_scenario("unit_test_scenario")
+        def _build(seed, num_intervals):
+            return from_config(_tiny_config("unit_test_scenario", seed, num_intervals or 40))
+
+        try:
+            assert "unit_test_scenario" in available_scenarios()
+            scenario = load("unit_test_scenario", seed=9, num_intervals=25)
+            assert len(scenario.traffic) == 25
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario("unit_test_scenario")(_build)
+            register_scenario("unit_test_scenario", overwrite=True)(_build)
+        finally:
+            unregister_scenario("unit_test_scenario")
+        assert "unit_test_scenario" not in available_scenarios()
+
+
+class TestSchemeRegistry:
+    def test_available_schemes_cover_bundled_kinds(self):
+        kinds = available_schemes()
+        for kind in ("figret", "dote", "teal", "des_te", "fa_des_te", "pred_te",
+                     "oblivious", "cope", "omniscient"):
+            assert kind in kinds
+
+    def test_duplicate_registration_rejected(self):
+        @register_scheme("unit_test_scheme")
+        def _build(path_set, *, cache=None, lp_workers=None, **params):
+            raise NotImplementedError
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scheme("unit_test_scheme")(_build)
+        finally:
+            from repro.study.spec import _SCHEME_BUILDERS
+
+            _SCHEME_BUILDERS.pop("unit_test_scheme", None)
+
+    def test_build_scheme_unknown_kind(self, mesh4_paths):
+        with pytest.raises(ValueError, match="unknown scheme kind"):
+            build_scheme({"kind": "bogus"}, mesh4_paths)
+
+    def test_build_scheme_missing_kind(self, mesh4_paths):
+        with pytest.raises(ValueError, match="missing its 'kind'"):
+            build_scheme({}, mesh4_paths)
+
+
+# --------------------------------------------------------------------------- #
+# Acceptance: the 3 x 3 x 2 grid from one plain-dict spec
+# --------------------------------------------------------------------------- #
+SCENARIO_NAMES = ("study_grid_a", "study_grid_b", "study_grid_c")
+
+#: Three distinct neural scheme specs.  normalize_by_optimal=False keeps the
+#: tiny trainings LP-free, so every LP solve in the grid is a replay
+#: normaliser and the dedup accounting below is exact.
+SCHEME_SPECS = (
+    {"kind": "figret", "epochs": 2, "history_len": 3, "robustness_weight": 0.1,
+     "normalize_by_optimal": False, "seed": 0},
+    {"kind": "dote", "epochs": 2, "history_len": 3,
+     "normalize_by_optimal": False, "seed": 0},
+    {"kind": "teal", "epochs": 2, "normalize_by_optimal": False, "seed": 0},
+)
+
+
+@pytest.fixture(scope="module")
+def grid_scenarios():
+    for index, name in enumerate(SCENARIO_NAMES):
+        register_scenario(name)(
+            lambda seed, num_intervals, _i=index, _n=name: from_config(
+                _tiny_config(_n, seed=seed + _i, num_intervals=num_intervals or 40)
+            )
+        )
+    yield SCENARIO_NAMES
+    for name in SCENARIO_NAMES:
+        unregister_scenario(name)
+
+
+@pytest.fixture(scope="module")
+def grid_spec(grid_scenarios):
+    return {
+        "scenario": {"sweep": [{"name": name, "seed": 2} for name in grid_scenarios]},
+        "scheme": {"sweep": list(SCHEME_SPECS)},
+        "perturbation": {"sweep": [
+            {"kind": "none"},
+            {"kind": "fluctuation", "alpha": 0.5, "seed": 1},
+        ]},
+        "max_intervals": 4,
+    }
+
+
+class TestAcceptanceGrid:
+    def test_grid_runs_with_zero_repeat_lp_solves(self, grid_spec):
+        engine = EvaluationEngine(cache=OptimalMLUCache())
+        study = Study(grid_spec)
+        assert len(study) == 18  # 3 scenarios x 3 schemes x 2 perturbations
+
+        with count_lp_solves() as cold:
+            results = study.run(engine=engine)
+        assert len(results) == 18
+        # Normalisers: one solve per distinct demand matrix -- 4 evaluated
+        # intervals per scenario per perturbation profile, shared by all 3
+        # schemes.  3 scenarios x 2 profiles x 4 targets = 24.
+        assert cold.count == 24
+
+        # Re-running the identical grid (fresh Study, fresh scheme builds,
+        # same engine) repeats zero LP solves across all 18 cells.
+        with count_lp_solves() as warm:
+            rerun = Study(grid_spec).run(engine=engine)
+        assert warm.count == 0
+        for first, second in zip(results, rerun):
+            np.testing.assert_array_equal(first.series, second.series)
+
+    def test_scheme_axis_adds_zero_solves(self, grid_spec):
+        engine = EvaluationEngine(cache=OptimalMLUCache())
+        single = dict(grid_spec)
+        single["scheme"] = SCHEME_SPECS[0]
+        with count_lp_solves() as first:
+            Study(single).run(engine=engine)
+        assert first.count == 24
+        with count_lp_solves() as rest:
+            Study(grid_spec).run(engine=engine)
+        assert rest.count == 0
+
+    def test_training_dedup_one_per_scheme_spec(self, grid_spec):
+        cache: dict = {}
+        study = Study(grid_spec, scheme_cache=cache)
+        study.run(engine=EvaluationEngine(cache=OptimalMLUCache()))
+        # One trained scheme per scenario x scheme spec, shared by both
+        # perturbation profiles.
+        assert len(cache) == 9
+        again = Study(grid_spec, scheme_cache=cache)
+        schemes_before = dict(cache)
+        again.run(engine=EvaluationEngine(cache=OptimalMLUCache()))
+        assert {key: id(value) for key, value in cache.items()} == {
+            key: id(value) for key, value in schemes_before.items()
+        }
+
+    def test_resultset_json_roundtrip_with_provenance(self, grid_spec):
+        results = Study(grid_spec).run(engine=EvaluationEngine(cache=OptimalMLUCache()))
+        restored = ResultSet.from_json(results.to_json())
+        assert len(restored) == len(results)
+        for original, loaded in zip(results, restored):
+            assert loaded.scenario == original.scenario
+            assert loaded.scheme == original.scheme
+            assert loaded.experiment == original.experiment
+            assert loaded.spec == original.spec
+            assert loaded.metrics == original.metrics
+            np.testing.assert_array_equal(loaded.series, original.series)
+        # Provenance is complete: the cell is rebuildable from the record.
+        record = restored[-1]
+        assert record.spec["scenario"] == {"name": "study_grid_c", "seed": 2}
+        assert record.spec["scheme"]["kind"] == "teal"
+        assert record.spec["perturbation"]["alpha"] == 0.5
+        assert record.spec["max_intervals"] == 4
+        cell = ExperimentSpec.from_dict(record.spec)
+        assert cell.scheme_key == ExperimentSpec.from_dict(
+            {"scenario": record.spec["scenario"], "scheme": SCHEME_SPECS[2]}
+        ).scheme_key
+
+
+# --------------------------------------------------------------------------- #
+# Orchestration behaviour
+# --------------------------------------------------------------------------- #
+class TestStudyBehaviour:
+    def test_streaming_cell_matches_batch(self, grid_scenarios):
+        base = {
+            "scenario": {"name": grid_scenarios[0], "seed": 2},
+            "scheme": SCHEME_SPECS[1],
+            "max_intervals": 6,
+        }
+        engine = EvaluationEngine(cache=OptimalMLUCache())
+        cache: dict = {}
+        batch = Study(base, scheme_cache=cache).run(engine=engine)[0]
+        streaming_spec = dict(base, streaming=True, chunk_size=2)
+        streaming = Study(streaming_spec, scheme_cache=cache).run(engine=engine)[0]
+        np.testing.assert_allclose(streaming.series, batch.series, rtol=0, atol=1e-9)
+
+    def test_live_scheme_path_set_mismatch_rejected(self, grid_scenarios, triangle_paths):
+        from repro.solvers import PredictionBasedTE
+
+        cell = ExperimentSpec(
+            scenario={"name": grid_scenarios[0], "seed": 2},
+            scheme=PredictionBasedTE(triangle_paths),
+            train=False,
+        )
+        with pytest.raises(ValueError, match="different path set"):
+            Study([cell]).run(engine=EvaluationEngine(cache=OptimalMLUCache()))
+
+    def test_drift_rejects_live_instances(self, grid_scenarios, mesh4_paths):
+        from repro.solvers import PredictionBasedTE
+
+        cell = ExperimentSpec(
+            scenario={"name": grid_scenarios[0], "seed": 2},
+            scheme=PredictionBasedTE(mesh4_paths),
+            perturbation={"kind": "drift", "train_segment": (0.0, 0.25)},
+        )
+        with pytest.raises(ValueError, match="retrain from scratch"):
+            Study([cell]).run(engine=EvaluationEngine(cache=OptimalMLUCache()))
+
+    def test_drift_rejects_train_false(self, grid_scenarios):
+        cell = ExperimentSpec(
+            scenario={"name": grid_scenarios[0], "seed": 2},
+            scheme=dict(SCHEME_SPECS[0]),
+            perturbation={"kind": "drift", "train_segment": (0.0, 0.25)},
+            train=False,
+        )
+        with pytest.raises(ValueError, match="train=False"):
+            Study([cell]).run(engine=EvaluationEngine(cache=OptimalMLUCache()))
+
+    def test_drift_baselines_not_shared_across_test_segments(self, grid_scenarios):
+        # Two drift cells with the same training prefix but different
+        # held-out slices: each must measure its decline against a baseline
+        # replayed on its *own* test segment.
+        def cell(test_segment):
+            return ExperimentSpec(
+                scenario={"name": grid_scenarios[0], "seed": 2},
+                scheme=dict(SCHEME_SPECS[0]),
+                perturbation={
+                    "kind": "drift",
+                    "train_segment": (0.0, 0.25),
+                    "test_segment": test_segment,
+                },
+            )
+
+        engine = EvaluationEngine(cache=OptimalMLUCache())
+        joint = Study([cell((0.5, 0.75)), cell((0.5, 1.0))]).run(engine=engine)
+        alone = Study([cell((0.5, 1.0))]).run(engine=engine)
+        assert joint[1].metrics["average_decline"] == alone[0].metrics["average_decline"]
+
+    def test_registry_reference_rejects_unknown_keys(self, grid_scenarios):
+        with pytest.raises(ValueError, match="unknown scenario reference key"):
+            ExperimentSpec(
+                scenario={"name": grid_scenarios[0], "intervals": 10},
+                scheme=dict(SCHEME_SPECS[0]),
+            ).scenario_key
+
+    def test_failure_cell_rejects_streaming_and_oracle_knobs(self, grid_scenarios):
+        for knob in ({"streaming": True}, {"oracle_demand": True}):
+            cell = ExperimentSpec(
+                scenario={"name": grid_scenarios[0], "seed": 2},
+                scheme=dict(SCHEME_SPECS[0]),
+                perturbation={"kind": "failure", "num_failures": 1, "num_trials": 1},
+                **knob,
+            )
+            with pytest.raises(ValueError, match="batched failure protocol"):
+                Study([cell]).run(engine=EvaluationEngine(cache=OptimalMLUCache()))
+
+    def test_failure_cell_resets_fault_aware_scheme_state(self, grid_scenarios):
+        # A fault-aware scheme mutated by the failure protocol must be handed
+        # to subsequent cells (and warm re-runs via a shared cache) with an
+        # intact network, so its plain replay matches a never-failed one.
+        spec = {
+            "scenario": {"name": grid_scenarios[0], "seed": 2},
+            "scheme": {"kind": "fa_des_te"},
+            "perturbation": {"sweep": [
+                {"kind": "failure", "num_failures": 1, "num_trials": 2, "seed": 5},
+                {"kind": "none"},
+            ]},
+            "max_intervals": 4,
+        }
+        engine = EvaluationEngine(cache=OptimalMLUCache())
+        after_failure = Study(spec).run(engine=engine).only(experiment="replay")
+        clean = Study(
+            {k: v for k, v in spec.items() if k != "perturbation"}
+        ).run(engine=engine).only(experiment="replay")
+        np.testing.assert_array_equal(after_failure.series, clean.series)
+
+    def test_study_rejects_unknown_spec_type(self):
+        with pytest.raises(TypeError, match="Study accepts"):
+            Study(42)
+
+    def test_from_spec_and_from_json_expand_identically(self):
+        spec = {
+            "scenario": {"sweep": ["a", "b"]},
+            "scheme": {"kind": "dote"},
+        }
+        built = Study.from_spec(spec)
+        parsed = Study.from_json(json.dumps(spec))
+        assert len(built) == len(parsed) == 2
+        assert [cell.scenario for cell in built.specs] == [
+            cell.scenario for cell in parsed.specs
+        ]
+
+    def test_labels_rename_records(self, grid_scenarios):
+        spec = {
+            "scenario": {"name": grid_scenarios[0], "seed": 2},
+            "scheme": dict(SCHEME_SPECS[0], label="MyFigret"),
+            "max_intervals": 3,
+        }
+        results = Study(spec).run(engine=EvaluationEngine(cache=OptimalMLUCache()))
+        assert results[0].scheme == "MyFigret"
+
+    def test_filter_and_only(self, grid_spec):
+        results = Study(grid_spec).run(engine=EvaluationEngine(cache=OptimalMLUCache()))
+        replay = results.filter(experiment="replay")
+        assert len(replay) == 9
+        one = results.only(
+            scenario="study_grid_a", scheme="DOTE", experiment="fluctuation"
+        )
+        assert one.metrics["average_decline"] == pytest.approx(
+            one.statistics.mean / results.only(
+                scenario="study_grid_a", scheme="DOTE", experiment="replay"
+            ).statistics.mean - 1.0
+        )
+        with pytest.raises(ValueError, match="exactly one"):
+            results.only(scheme="DOTE")
+
+
+class TestStudyCLI:
+    def test_cli_runs_spec_and_writes_results(self, tmp_path, grid_scenarios, capsys):
+        spec = {
+            "scenario": {"name": grid_scenarios[0], "seed": 2},
+            "scheme": {"sweep": [SCHEME_SPECS[0], SCHEME_SPECS[1]]},
+            "max_intervals": 3,
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        out_path = tmp_path / "results.json"
+        assert study_cli([str(spec_path), "--out", str(out_path)]) == 0
+        captured = capsys.readouterr().out
+        assert "2 experiment cell(s)" in captured
+        restored = ResultSet.load(out_path)
+        assert [record.scheme for record in restored] == ["FIGRET", "DOTE"]
+
+    def test_cli_lists_registries(self, capsys):
+        assert study_cli(["--list-scenarios"]) == 0
+        assert "geant_small" in capsys.readouterr().out
+        assert study_cli(["--list-schemes"]) == 0
+        assert "figret" in capsys.readouterr().out

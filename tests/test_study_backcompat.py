@@ -1,0 +1,250 @@
+"""Back-compat pins: every legacy runner facade == the equivalent Study run.
+
+The experiment facades in :mod:`repro.evaluation.runner` are thin shims over
+:class:`repro.study.Study`.  These tests pin the other direction too: a
+declarative study spec (registered scenario + scheme spec dicts, same seeds)
+reproduces each facade's results bit-identically on the numpy backend, so
+the legacy API can be migrated cell-for-cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Figret, TrainingConfig
+from repro.datasets import from_config, load, register_scenario, unregister_scenario
+from repro.evaluation import (
+    compare_schemes,
+    drift_experiment,
+    evaluate_scheme,
+    failure_experiment,
+    fluctuation_experiment,
+)
+from repro.evaluation.engine import EvaluationEngine
+from repro.solvers import DesensitizationTE, FaultAwareDesensitizationTE, PredictionBasedTE
+from repro.solvers.lp import OptimalMLUCache
+from repro.study import Study, sweep
+
+SCENARIO = "backcompat_mesh"
+SEED = 4
+HISTORY = 3
+
+FIGRET_SPEC = {
+    "kind": "figret",
+    "epochs": 2,
+    "history_len": HISTORY,
+    "robustness_weight": 0.1,
+    "normalize_by_optimal": False,
+    "seed": 0,
+}
+
+
+def _figret_config() -> TrainingConfig:
+    return TrainingConfig(
+        epochs=2,
+        history_len=HISTORY,
+        robustness_weight=0.1,
+        normalize_by_optimal=False,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    register_scenario(SCENARIO)(
+        lambda seed, num_intervals: from_config(
+            {
+                "name": SCENARIO,
+                "topology": {"kind": "fully_connected", "num_nodes": 4, "capacity": 10.0},
+                "traffic": {
+                    "kind": "datacenter",
+                    "level": "pod",
+                    "seed": seed,
+                    "num_intervals": num_intervals or 50,
+                },
+                "history_len": HISTORY,
+            }
+        )
+    )
+    yield load(SCENARIO, seed=SEED)
+    unregister_scenario(SCENARIO)
+
+
+def _engine() -> EvaluationEngine:
+    return EvaluationEngine(cache=OptimalMLUCache())
+
+
+def _scenario_ref() -> dict:
+    return {"name": SCENARIO, "seed": SEED}
+
+
+def test_evaluate_scheme_matches_study_cell(scenario):
+    train, test = scenario.split()
+    scheme = Figret(scenario.paths, _figret_config())
+    scheme.precompute(train)
+    legacy = evaluate_scheme(scheme, test, HISTORY, engine=_engine())
+    record = Study(
+        [
+            {
+                "scenario": _scenario_ref(),
+                "scheme": scheme,
+                "train": False,
+            }
+        ]
+    ).run(engine=_engine())[0]
+    np.testing.assert_array_equal(record.series, legacy.normalized_mlus)
+    np.testing.assert_array_equal(record.result.raw_mlus, legacy.raw_mlus)
+    np.testing.assert_array_equal(record.result.optimal_mlus, legacy.optimal_mlus)
+
+
+def test_compare_schemes_matches_study_grid(scenario):
+    train, test = scenario.split()
+    live = [
+        Figret(scenario.paths, _figret_config()),
+        DesensitizationTE(scenario.paths),
+        PredictionBasedTE(scenario.paths),
+    ]
+    legacy = compare_schemes(live, train, test, HISTORY, engine=_engine())
+
+    declarative = Study(
+        {
+            "scenario": _scenario_ref(),
+            "scheme": sweep(
+                dict(FIGRET_SPEC),
+                {"kind": "des_te"},
+                {"kind": "pred_te"},
+            ),
+        }
+    ).run(engine=_engine())
+    assert [record.scheme for record in declarative] == list(legacy)
+    for record in declarative:
+        np.testing.assert_array_equal(
+            record.series, legacy[record.scheme].normalized_mlus
+        )
+
+
+def test_fluctuation_facade_matches_study(scenario):
+    train, test = scenario.split()
+    scheme = Figret(scenario.paths, _figret_config())
+    scheme.precompute(train)
+    alphas = (0.5, 2.0)
+    legacy = fluctuation_experiment(
+        scheme, test, train, HISTORY, alphas=alphas, seed=9, engine=_engine()
+    )
+
+    results = Study(
+        {
+            "scenario": _scenario_ref(),
+            "scheme": dict(FIGRET_SPEC),
+            "perturbation": sweep(
+                *[{"kind": "fluctuation", "alpha": alpha, "seed": 9} for alpha in alphas]
+            ),
+        }
+    ).run(engine=_engine())
+    for alpha, record in zip(alphas, results):
+        assert record.metrics["average_decline"] == legacy[alpha]["average_decline"]
+        assert record.metrics["p90_decline"] == legacy[alpha]["p90_decline"]
+
+
+def test_worst_case_fluctuation_matches_study(scenario):
+    train, test = scenario.split()
+    scheme = Figret(scenario.paths, _figret_config())
+    scheme.precompute(train)
+    legacy = fluctuation_experiment(
+        scheme, test, train, HISTORY, alphas=(1.0,), worst_case=True, seed=3,
+        engine=_engine(),
+    )
+    record = Study(
+        {
+            "scenario": _scenario_ref(),
+            "scheme": dict(FIGRET_SPEC),
+            "perturbation": {"kind": "fluctuation", "alpha": 1.0, "worst_case": True,
+                             "seed": 3},
+        }
+    ).run(engine=_engine())[0]
+    assert record.metrics["average_decline"] == legacy[1.0]["average_decline"]
+    assert record.metrics["p90_decline"] == legacy[1.0]["p90_decline"]
+
+
+def test_drift_facade_matches_study(scenario):
+    segments = ((0.0, 0.25), (0.25, 0.5))
+
+    def factory():
+        return Figret(scenario.paths, _figret_config())
+
+    legacy = drift_experiment(
+        factory, scenario.traffic, HISTORY, segments=segments, engine=_engine()
+    )
+    results = Study(
+        {
+            "scenario": _scenario_ref(),
+            "scheme": dict(FIGRET_SPEC),
+            "perturbation": sweep(
+                *[{"kind": "drift", "train_segment": list(seg)} for seg in segments]
+            ),
+        }
+    ).run(engine=_engine())
+    for (start, end), record in zip(segments, results):
+        label = f"{int(start * 100)}%-{int(end * 100)}%"
+        assert record.metrics["average_decline"] == legacy[label]["average_decline"]
+        assert record.metrics["p90_decline"] == legacy[label]["p90_decline"]
+
+
+def test_failure_facade_matches_study(scenario):
+    _, test = scenario.split()
+    live = [DesensitizationTE(scenario.paths), FaultAwareDesensitizationTE(scenario.paths)]
+    legacy = failure_experiment(
+        live, test, HISTORY, num_failures=1, num_trials=2, seed=42, engine=_engine()
+    )
+    results = Study(
+        {
+            "scenario": _scenario_ref(),
+            "scheme": sweep({"kind": "des_te"}, {"kind": "fa_des_te"}),
+            "perturbation": {"kind": "failure", "num_failures": 1, "num_trials": 2,
+                             "seed": 42},
+            "train": False,
+        }
+    ).run(engine=_engine())
+    assert [record.scheme for record in results] == list(legacy)
+    for record in results:
+        np.testing.assert_array_equal(record.series, legacy[record.scheme])
+
+
+def test_facades_expose_backend_parameter(scenario):
+    """The backend= satellite: every experiment facade accepts backend=...
+
+    (pinned numerically in the numpy case: an explicit backend gives the
+    same bit-identical results as the default engine).
+    """
+    train, test = scenario.split()
+    scheme = Figret(scenario.paths, _figret_config())
+    scheme.precompute(train)
+
+    default = compare_schemes([scheme], train, test, HISTORY, precompute=False,
+                              engine=_engine())
+    pinned = compare_schemes([scheme], train, test, HISTORY, precompute=False,
+                             backend="numpy")
+    np.testing.assert_array_equal(
+        pinned[scheme.name].normalized_mlus, default[scheme.name].normalized_mlus
+    )
+
+    fluct = fluctuation_experiment(
+        scheme, test, train, HISTORY, alphas=(1.0,), backend="numpy"
+    )
+    assert set(fluct[1.0]) == {"average_decline", "p90_decline"}
+
+    drift = drift_experiment(
+        lambda: Figret(scenario.paths, _figret_config()),
+        scenario.traffic,
+        HISTORY,
+        segments=((0.0, 0.25),),
+        backend="numpy",
+    )
+    assert "0%-25%" in drift
+
+    failures = failure_experiment(
+        [DesensitizationTE(scenario.paths)], test, HISTORY, num_failures=1,
+        num_trials=1, backend="numpy",
+    )
+    assert "Des TE" in failures
