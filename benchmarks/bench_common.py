@@ -89,9 +89,23 @@ def get_scenario(name: str) -> datasets.Scenario:
     return _session_study().scenario(scenario_spec(name))
 
 
-def run_study(spec, engine: EvaluationEngine | None = None) -> ResultSet:
-    """Run a study spec on the session engine with the session dedup caches."""
-    return _session_study(spec).run(engine=engine or bench_engine())
+def run_study(
+    spec,
+    engine: EvaluationEngine | None = None,
+    checkpoint=None,
+    cell_workers: int | str | None = None,
+) -> ResultSet:
+    """Run a study spec on the session engine with the session dedup caches.
+
+    ``checkpoint`` / ``cell_workers`` pass straight through to
+    :meth:`repro.study.Study.run` (crash-safe incremental results and
+    cell-level process-pool execution).
+    """
+    return _session_study(spec).run(
+        engine=engine or bench_engine(),
+        checkpoint=checkpoint,
+        cell_workers=cell_workers,
+    )
 
 
 def training_config(scenario: datasets.Scenario, robustness_weight: float, epochs: int) -> TrainingConfig:
@@ -226,6 +240,7 @@ def bench_output_dir() -> Path:
 def write_bench_record(
     name: str,
     lp_workers: int | str | None = None,
+    update: bool = False,
     **metrics,
 ) -> Path:
     """Write one machine-readable ``BENCH_<name>.json`` benchmark record.
@@ -241,11 +256,29 @@ def write_bench_record(
         name: Bench identifier (becomes the ``BENCH_<name>.json`` filename).
         lp_workers: LP process-pool width the bench ran with (resolved, so
             ``"auto"`` records the actual width).
+        update: Merge the new metrics into an existing record of the same
+            bench instead of replacing it -- how several tests of one module
+            extend a single ``BENCH_*.json`` (an unreadable or foreign
+            existing file is replaced).
         **metrics: JSON-serialisable measurement values.
 
     Returns:
         The path written.
     """
+    path = bench_output_dir() / f"BENCH_{name}.json"
+    if update and path.exists():
+        try:
+            with open(path, encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if (
+                isinstance(existing, dict)
+                and existing.get("format") == BENCH_RECORD_FORMAT
+                and existing.get("bench") == name
+                and isinstance(existing.get("metrics"), dict)
+            ):
+                metrics = {**existing["metrics"], **metrics}
+        except (OSError, ValueError):
+            pass
     record = {
         "format": BENCH_RECORD_FORMAT,
         "version": BENCH_RECORD_VERSION,
@@ -256,7 +289,6 @@ def write_bench_record(
         "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "metrics": metrics,
     }
-    path = bench_output_dir() / f"BENCH_{name}.json"
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)

@@ -4,6 +4,10 @@ The paper's heat maps show that, in every network, different SD pairs have
 very different demand variance.  This benchmark regenerates the underlying
 matrices and reports how concentrated the variance is (a perfectly uniform
 network would have the top-10% pairs carry exactly 10% of total variance).
+
+This is a traffic-statistics bench: it replays no scheme, so there is no
+study cell to declare -- it consumes scenarios through the study layer's
+session scenario cache (``bench_common.get_scenario``) and nothing else.
 """
 
 from __future__ import annotations

@@ -5,6 +5,10 @@ the previous H = 12 matrices; the distribution of those similarities is the
 paper's burstiness indicator.  Expected ordering: WAN gravity traffic is the
 most stable, GEANT is stable with outliers, PoD-level is moderately bursty,
 and pFabric / ToR-level traffic is the most dynamic.
+
+This is a traffic-statistics bench: it replays no scheme, so there is no
+study cell to declare -- it consumes scenarios through the study layer's
+session scenario cache (``bench_common.get_scenario``) and nothing else.
 """
 
 from __future__ import annotations

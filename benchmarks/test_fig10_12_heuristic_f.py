@@ -5,6 +5,11 @@ function of traffic variance already shifts the normal-case / burst-case
 balance.  Figure 10 sweeps the linear-function parameters of Table 7 and
 Figure 12 the piecewise-function parameters of Table 8, both on the PoD-level
 Meta DB scenario.
+
+Each parameter table is declared as one study grid -- a labelled scheme-spec
+sweep over one scenario via ``bench_common.run_study`` -- so the sweep shares
+the session's scenario build and LP-cached normalisers with every other
+benchmark instead of issuing its own ``compare_schemes`` calls.
 """
 
 from __future__ import annotations
@@ -12,9 +17,8 @@ from __future__ import annotations
 import pytest
 
 import bench_common as common
-from repro.evaluation import compare_schemes
 from repro.evaluation.reporting import format_table
-from repro.solvers import DesensitizationTE, LinearSensitivityTE, PiecewiseSensitivityTE
+from repro.study import sweep
 
 #: Table 7: (number, min threshold, max threshold).
 LINEAR_PARAMETERS = [
@@ -37,30 +41,35 @@ PIECEWISE_PARAMETERS = [
 ]
 
 
-def _run_sweep(schemes_by_label):
-    scenario = common.get_scenario("meta_pod_db_small")
-    train, _ = scenario.split()
-    test = common.test_slice(scenario, 25)
-    schemes = list(schemes_by_label.values())
-    results = compare_schemes(schemes, train, test, scenario.history_len)
-    return {
-        label: results[scheme.name].statistics
-        for label, scheme in schemes_by_label.items()
-    }
+def _run_sweep(scheme_specs):
+    """One parameter table as a declarative study over the PoD DB scenario."""
+    results = common.run_study(
+        {
+            "scenario": common.scenario_spec("meta_pod_db_small"),
+            "scheme": sweep(*scheme_specs),
+            "max_intervals": 25,
+        }
+    )
+    return {record.scheme: record.statistics for record in results}
 
 
 @pytest.mark.paper("Figure 10 / Table 7")
 def test_fig10_linear_sensitivity_functions(benchmark):
-    scenario = common.get_scenario("meta_pod_db_small")
-
     def run():
-        schemes = {}
+        specs = []
         for label, low, high in LINEAR_PARAMETERS:
             if low == high:
-                schemes[label] = DesensitizationTE(scenario.paths, sensitivity_threshold=high)
+                # A flat linear function is exactly the fixed-threshold
+                # Desensitization baseline.
+                specs.append(
+                    {"kind": "des_te", "sensitivity_threshold": high, "label": label}
+                )
             else:
-                schemes[label] = LinearSensitivityTE(scenario.paths, min_threshold=low, max_threshold=high)
-        return _run_sweep(schemes)
+                specs.append(
+                    {"kind": "linear_sens", "min_threshold": low,
+                     "max_threshold": high, "label": label}
+                )
+        return _run_sweep(specs)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [common.stats_row(label, stats) for label, stats in results.items()]
@@ -83,18 +92,19 @@ def test_fig10_linear_sensitivity_functions(benchmark):
 
 @pytest.mark.paper("Figure 12 / Table 8")
 def test_fig12_piecewise_sensitivity_functions(benchmark):
-    scenario = common.get_scenario("meta_pod_db_small")
-
     def run():
-        schemes = {}
+        specs = []
         for label, low, high, breakpoint in PIECEWISE_PARAMETERS:
             if low == high:
-                schemes[label] = DesensitizationTE(scenario.paths, sensitivity_threshold=high)
-            else:
-                schemes[label] = PiecewiseSensitivityTE(
-                    scenario.paths, min_threshold=low, max_threshold=high, breakpoint=breakpoint
+                specs.append(
+                    {"kind": "des_te", "sensitivity_threshold": high, "label": label}
                 )
-        return _run_sweep(schemes)
+            else:
+                specs.append(
+                    {"kind": "piecewise_sens", "min_threshold": low,
+                     "max_threshold": high, "breakpoint": breakpoint, "label": label}
+                )
+        return _run_sweep(specs)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [common.stats_row(label, stats) for label, stats in results.items()]

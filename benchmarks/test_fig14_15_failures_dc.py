@@ -3,6 +3,11 @@
 Same protocol as Figure 7 but on the data center scenarios.  On the highly
 dynamic ToR-level traffic even the fault-aware hedging baseline struggles,
 while FIGRET remains competitive.
+
+Each panel is one declarative study grid -- scheme axis x failure-count axis
+via ``bench_common.run_study`` -- mirroring the ported Figure 7, with the
+failure oracle LP-cached across cells (same seed => same failure patterns, so
+the scheme axis adds zero oracle solves).
 """
 
 from __future__ import annotations
@@ -11,9 +16,8 @@ import numpy as np
 import pytest
 
 import bench_common as common
-from repro.evaluation import failure_experiment
 from repro.evaluation.reporting import format_table
-from repro.solvers import DesensitizationTE, FaultAwareDesensitizationTE
+from repro.study import sweep
 
 
 @pytest.mark.paper("Figures 14 and 15")
@@ -22,31 +26,38 @@ from repro.solvers import DesensitizationTE, FaultAwareDesensitizationTE
     [("pfabric_small", 0.15, 35), ("meta_tor_db_small", 0.3, 35)],
 )
 def test_fig14_15_failures_data_centers(benchmark, scenario_name, robustness, epochs):
-    scenario = common.get_scenario(scenario_name)
-    figret = common.trained_scheme("figret", scenario_name, robustness, epochs)
-    dote = common.trained_scheme("dote", scenario_name, 0.0, epochs)
-    des = DesensitizationTE(scenario.paths)
-    fa_des = FaultAwareDesensitizationTE(scenario.paths)
-    test = common.test_slice(scenario, 5)
+    schemes = [
+        common.scheme_spec("figret", scenario_name, robustness, epochs),
+        common.scheme_spec("dote", scenario_name, 0.0, epochs),
+        {"kind": "des_te"},
+        {"kind": "fa_des_te"},
+    ]
+    spec = {
+        "scenario": common.scenario_spec(scenario_name),
+        "scheme": sweep(*schemes),
+        "perturbation": sweep(
+            *[
+                {"kind": "failure", "num_failures": k, "num_trials": 2, "seed": 200 + k}
+                for k in (1, 2, 3)
+            ]
+        ),
+        "max_intervals": 5,
+    }
 
     def run():
+        results = common.run_study(spec)
         outcome = {}
-        for num_failures in (1, 2, 3):
-            results = failure_experiment(
-                [figret, dote, des, fa_des],
-                test,
-                scenario.history_len,
-                num_failures=num_failures,
-                num_trials=2,
-                seed=200 + num_failures,
+        for record in results:
+            num_failures = record.spec["perturbation"]["num_failures"]
+            outcome.setdefault(num_failures, {})[record.scheme] = float(
+                np.mean(record.series)
             )
-            outcome[num_failures] = {name: float(np.mean(series)) for name, series in results.items()}
         return outcome
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
         [str(k), f"{v['FIGRET']:.3f}", f"{v['DOTE']:.3f}", f"{v['Des TE']:.3f}", f"{v['FA Des TE']:.3f}"]
-        for k, v in outcome.items()
+        for k, v in sorted(outcome.items())
     ]
     print()
     print(format_table(

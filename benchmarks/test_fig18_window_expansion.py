@@ -4,6 +4,10 @@ The paper repeats the Figure 4 cosine-similarity analysis with H = 64 instead
 of H = 12 and finds essentially the same profile: unexpected bursts are not a
 consequence of looking at too little history, so a larger DNN input window
 cannot substitute for robustness.
+
+This is a traffic-statistics bench: it replays no scheme, so there is no
+study cell to declare -- it consumes scenarios through the study layer's
+session scenario cache (``bench_common.get_scenario``) and nothing else.
 """
 
 from __future__ import annotations

@@ -1,6 +1,6 @@
-"""Study-orchestration overhead and LP-solve dedup on a Figure-5-style grid.
+"""Study-orchestration overhead, LP-solve dedup, and cell-pool scaling.
 
-Two guarantees of the declarative layer are pinned here:
+Three guarantees of the declarative layer are pinned here:
 
 * **Overhead** -- running a scenarios x schemes x perturbations grid through
   :class:`repro.study.Study` costs < 5% wall-clock over issuing the
@@ -10,8 +10,16 @@ Two guarantees of the declarative layer are pinned here:
   once per distinct demand matrix: adding the whole scheme axis to a grid
   adds *zero* LP solves, and re-running a study on a warm engine solves
   nothing (asserted with :func:`~repro.solvers.lp.count_lp_solves`).
+* **Cell pool** -- ``Study.run(cell_workers=N)`` produces bit-identical
+  results to sequential execution while fanning distinct scheme trainings
+  out over a process pool, and the workers' LP-cache entries and trained
+  schemes merge back into the parent (a warm re-run repeats nothing).  The
+  sequential-vs-pooled wall times are *recorded* per width, not asserted:
+  like the LP pool, whether a 2-wide pool wins depends on the core count
+  (see ``BENCH_lp_worker_scaling.json``).
 
-Emits ``BENCH_study_orchestration.json`` in the shared bench-record format.
+Both tests extend one ``BENCH_study_orchestration.json`` record (the second
+writer merges via ``write_bench_record(update=True)``).
 """
 
 from __future__ import annotations
@@ -186,6 +194,7 @@ def test_study_orchestration_overhead_and_dedup(benchmark):
     common.write_bench_record(
         "study_orchestration",
         lp_workers=engine.lp_workers,
+        update=True,
         grid_cells=cells,
         direct_seconds=direct_s,
         study_seconds=study_s,
@@ -193,4 +202,124 @@ def test_study_orchestration_overhead_and_dedup(benchmark):
         cold_lp_solves=cold_solves,
         scheme_axis_extra_solves=axis_tally.count,
         rerun_extra_solves=rerun_tally.count,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Cell-level process-pool execution
+# --------------------------------------------------------------------- #
+
+#: Registry-free inline scenarios: worker processes rebuild them from the
+#: config dicts alone, whatever the multiprocessing start method.
+def _inline_scenario(name, seed):
+    return {
+        "name": name,
+        "topology": {"kind": "fully_connected", "num_nodes": 5, "capacity": 10.0},
+        "traffic": {
+            "kind": "datacenter",
+            "level": "pod",
+            "seed": seed,
+            "num_intervals": 80,
+        },
+        "history_len": 4,
+    }
+
+
+def _cell_pool_spec():
+    schemes = [
+        {"kind": "figret", "epochs": 6, "history_len": 4, "robustness_weight": 0.1,
+         "seed": common.BENCH_SEED},
+        {"kind": "dote", "epochs": 6, "history_len": 4, "seed": common.BENCH_SEED},
+    ]
+    return {
+        "scenario": sweep(_inline_scenario("cellpool_a", 1), _inline_scenario("cellpool_b", 2)),
+        "scheme": sweep(*schemes),
+        "perturbation": sweep({"kind": "none"}, dict(FLUCTUATION)),
+        "max_intervals": 10,
+    }
+
+
+@pytest.mark.paper("study cell pool")
+def test_study_cell_worker_scaling(benchmark):
+    from repro.study import study as study_module
+
+    spec = _cell_pool_spec()
+    timings = {}
+    outputs = {}
+
+    def run_width(cell_workers):
+        # Fresh engine + scheme cache per width: the trainings and the cold
+        # normaliser pass are the work the pool parallelises, so they must
+        # happen inside the timed region.
+        engine = EvaluationEngine(cache=OptimalMLUCache())
+        scheme_cache: dict = {}
+        start = time.perf_counter()
+        results = Study(spec, scheme_cache=scheme_cache).run(
+            engine=engine, cell_workers=cell_workers
+        )
+        elapsed = time.perf_counter() - start
+        return elapsed, results, engine, scheme_cache
+
+    for width in (None, 2, 4):
+        elapsed, results, engine, scheme_cache = run_width(width)
+        label = "sequential" if width is None else f"cell_workers_{width}"
+        timings[label] = elapsed
+        outputs[label] = results
+        if width is not None:
+            # Merge-back contract: the parent engine can re-run the whole
+            # grid without a single new LP solve, and every distinct scheme
+            # spec came back trained.
+            assert len(scheme_cache) == 4  # 2 scenarios x 2 scheme specs
+            with count_lp_solves() as tally:
+                rerun = Study(spec, scheme_cache=scheme_cache).run(engine=engine)
+            assert tally.count == 0
+            assert rerun.to_json() == results.to_json()
+
+    baseline = outputs["sequential"].to_json()
+    for label, results in outputs.items():
+        assert results.to_json() == baseline  # bit-identical at every width
+
+    # If the pool was unusable (sandboxed spawn, broken pool) every width
+    # silently ran sequentially -- the correctness assertions above still
+    # hold, but recording sequential-vs-sequential wall times as pool
+    # scaling would fabricate the tracked artifact.  The warn-once module
+    # flag is the degradation signal.
+    degraded = study_module._CELL_POOL_FALLBACK_WARNED
+
+    cells = len(outputs["sequential"])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["timings"] = timings
+    benchmark.extra_info["pool_degraded"] = degraded
+    print()
+    for label, elapsed in timings.items():
+        print(f"cell-pool scaling: {label:>16} {elapsed * 1e3:8.1f} ms ({cells} cells)")
+    if degraded:
+        print("cell pool unavailable here: widths ran sequentially, timings not recorded")
+
+    if degraded:
+        # Explicit nulls: update=True merges into the committed record, so
+        # omitting the keys would leave a previous box's timings sitting
+        # next to degraded=true.
+        scaling_metrics = {
+            "cell_pool_sequential_seconds": None,
+            "cell_pool_workers2_seconds": None,
+            "cell_pool_workers4_seconds": None,
+            "cell_pool_workers2_speedup": None,
+            "cell_pool_workers4_speedup": None,
+        }
+    else:
+        scaling_metrics = {
+            "cell_pool_sequential_seconds": timings["sequential"],
+            "cell_pool_workers2_seconds": timings["cell_workers_2"],
+            "cell_pool_workers4_seconds": timings["cell_workers_4"],
+            "cell_pool_workers2_speedup": timings["sequential"] / timings["cell_workers_2"],
+            "cell_pool_workers4_speedup": timings["sequential"] / timings["cell_workers_4"],
+        }
+    common.write_bench_record(
+        "study_orchestration",
+        lp_workers=common.bench_engine().lp_workers,
+        update=True,
+        cell_pool_grid_cells=cells,
+        cell_pool_degraded=degraded,
+        **scaling_metrics,
     )

@@ -66,6 +66,17 @@ class TealLike(TEScheme):
         self._loss: TELoss | None = None
         self._input_scale = 1.0
 
+    def __getstate__(self) -> dict:
+        """Pickle trained weights + config, dropping the live LP cache.
+
+        The model serialises through :class:`FigretNet`'s weights-only
+        pickling and the loss holds plain arrays, so a trained TEAL-like
+        scheme crosses a process-pool boundary ready for inference.
+        """
+        state = dict(self.__dict__)
+        state["cache"] = None
+        return state
+
     def precompute(self, train_sequence: TrafficMatrixSequence) -> None:
         """Train the network to minimise MLU on the demand it is shown."""
         config = self.config

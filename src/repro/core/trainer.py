@@ -120,6 +120,7 @@ class Trainer:
     ) -> None:
         self.path_set = path_set
         self.config = config
+        self.pair_variance = pair_variance
         self.cache = cache
         self.lp_workers = lp_workers
         self.model = FigretNet(
@@ -136,6 +137,41 @@ class Trainer:
         self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
         self.history = TrainingHistory()
         self.input_scale: float = 1.0
+
+    # ------------------------------------------------------------------ #
+    # Pickling (weights + config, not live caches)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Serialise inference state: config, weights, scale, loss history.
+
+        The LP cache is a live process-local object (possibly the shared or
+        a disk-persistent one) and is deliberately dropped -- an unpickled
+        trainer falls back to :func:`~repro.solvers.lp.shared_cache` if it
+        ever trains again.  Optimizer moments are not carried either: what
+        crosses a process boundary is a *trained* model, and a fresh
+        ``fit`` rebuilds them anyway.
+        """
+        return {
+            "path_set": self.path_set,
+            "config": self.config,
+            "pair_variance": self.pair_variance,
+            "lp_workers": self.lp_workers,
+            "weights": self.model.state_dict(),
+            "input_scale": self.input_scale,
+            "history": self.history,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["path_set"],
+            state["config"],
+            pair_variance=state["pair_variance"],
+            cache=None,
+            lp_workers=state["lp_workers"],
+        )
+        self.model.load_state_dict(state["weights"])
+        self.input_scale = state["input_scale"]
+        self.history = state["history"]
 
     # ------------------------------------------------------------------ #
     # Training
@@ -229,6 +265,18 @@ class TrainerBackedScheme(TEScheme):
         super().__init__(path_set, name)
         self.config: TrainingConfig
         self._trainer: Trainer | None = None
+
+    def __getstate__(self) -> dict:
+        """Pickle everything except the live LP cache (process-local).
+
+        The embedded :class:`Trainer` carries weights + config through its
+        own ``__getstate__``, so a trained FIGRET/DOTE scheme round-trips a
+        process-pool boundary ready for inference.
+        """
+        state = dict(self.__dict__)
+        if "cache" in state:
+            state["cache"] = None
+        return state
 
     @property
     def history_len(self) -> int:

@@ -360,11 +360,28 @@ def _discard_pool(workers: int) -> None:
 
 
 def resolve_lp_workers(workers: int | str | None) -> int | None:
-    """Normalise a ``workers`` argument (``None`` / int / ``"auto"``)."""
+    """Normalise and validate a ``workers`` argument.
+
+    Accepted forms: ``None`` (sequential), a positive int (pool width), or
+    the string ``"auto"`` (a CPU-count-derived width).  Anything else --
+    including ``0`` and negative ints, which would otherwise be silently
+    treated as sequential here and then blow up (or hang) inside the
+    process-pool layer -- raises a :class:`ValueError` naming the accepted
+    forms.  The same guard serves ``cell_workers`` at the study layer.
+    """
+    if workers is None:
+        return None
     if workers == "auto":
         return default_lp_workers()
-    if isinstance(workers, str):
-        raise ValueError(f"workers must be an int, None, or 'auto', got {workers!r}")
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(
+            f"workers must be None, a positive int, or 'auto', got {workers!r}"
+        )
+    if workers < 1:
+        raise ValueError(
+            f"workers must be at least 1, got {workers}; pass None for sequential "
+            "execution or 'auto' for a CPU-count-derived width"
+        )
     return workers
 
 
@@ -644,6 +661,35 @@ class OptimalMLUCache:
     def close(self) -> None:
         """Flush pending entries (kept for symmetry with file-like objects)."""
         self.flush()
+
+    # ------------------------------------------------------------------ #
+    # Cross-process transport (the study layer's cell pool)
+    # ------------------------------------------------------------------ #
+    def entries_snapshot(self) -> dict[tuple[str, str, str], float]:
+        """A plain-dict copy of the in-memory entries.
+
+        The snapshot is what a worker process is seeded with before running
+        its experiment cells, so demands already solved by the parent are
+        cache hits everywhere.
+        """
+        return dict(self._entries)
+
+    def merge_entries(self, entries) -> int:
+        """Insert entries solved elsewhere (e.g. by a pool worker).
+
+        Existing keys keep their current values (the solver is
+        deterministic, so they are equal anyway).  On a persistent cache the
+        merged entries are appended at the next :meth:`flush` like locally
+        solved ones.  Returns the number of new entries inserted.
+        """
+        added = 0
+        for key, value in entries.items():
+            fingerprint, demand_key, mask_key = key
+            normalised = (str(fingerprint), str(demand_key), str(mask_key))
+            if normalised not in self._entries:
+                self._store(normalised, float(value))
+                added += 1
+        return added
 
     @staticmethod
     def _mask_key(path_mask: np.ndarray | None) -> str:

@@ -18,10 +18,23 @@ provenance and a lossless JSON round-trip.
 ... }).run()
 >>> print(results.to_table())
 
-Run a JSON spec from the shell with ``python -m repro.study spec.json``.
+Long grids are crash-safe and parallel: ``Study.run(checkpoint=path)``
+appends every finished cell to an on-disk :class:`StudyCheckpoint` and
+``Study.resume(path)`` restarts an interrupted grid where it died (zero
+repeat trainings or LP solves for finished cells), while
+``Study.run(cell_workers=N)`` fans independent cells -- and distinct scheme
+trainings -- out over a process pool with bit-identical results.
+
+Run a JSON spec from the shell with ``python -m repro.study spec.json``
+(``--checkpoint`` / ``--resume`` / ``--cell-workers`` expose the same knobs).
 """
 
-from repro.study.results import ResultSet, StudyResult
+from repro.study.results import (
+    CheckpointError,
+    ResultSet,
+    StudyCheckpoint,
+    StudyResult,
+)
 from repro.study.spec import (
     ExperimentSpec,
     InlineScenario,
@@ -37,7 +50,9 @@ __all__ = [
     "Study",
     "ExperimentSpec",
     "InlineScenario",
+    "CheckpointError",
     "ResultSet",
+    "StudyCheckpoint",
     "StudyResult",
     "sweep",
     "expand_spec",

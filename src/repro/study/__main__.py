@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro.study spec.json [--out results.json] [--backend numpy]
+                                    [--lp-workers auto] [--cell-workers 4]
+                                    [--checkpoint run.ckpt [--resume]]
     python -m repro.study --list-scenarios
     python -m repro.study --list-schemes
 
@@ -10,6 +12,11 @@ The spec file is a JSON study spec (sweep axes spelled ``{"sweep": [...]}``);
 the run prints the result table and optionally writes the full
 :class:`~repro.study.results.ResultSet` (spec provenance + series) to
 ``--out``.
+
+Crash recovery: with ``--checkpoint`` every finished cell is appended to the
+given file as it completes, and re-running the same command with ``--resume``
+added skips the finished cells and completes the remainder -- so a killed
+200-cell grid restarts where it died instead of from scratch.
 """
 
 from __future__ import annotations
@@ -18,8 +25,25 @@ import argparse
 import json
 import sys
 
-from repro.study.spec import available_schemes
-from repro.study.study import Study
+
+def _workers_type(value: str):
+    """Shared ``type=`` parser for ``--lp-workers`` / ``--cell-workers``.
+
+    Turns bad input into a clean ``parser.error`` line instead of the raw
+    ``ValueError`` traceback ``int(...)`` used to produce.  The accepted
+    forms live in one place -- :func:`repro.solvers.lp.resolve_lp_workers`
+    validates here too, so the CLI can never drift from the library layer.
+    """
+    from repro.solvers.lp import resolve_lp_workers
+
+    try:
+        workers = value if value == "auto" else int(value)
+        resolve_lp_workers(workers)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a positive integer, got {value!r}"
+        ) from None
+    return workers
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,7 +57,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--lp-workers",
         default=None,
-        help="LP process-pool width for cold normaliser batches ('auto' or an int)",
+        type=_workers_type,
+        metavar="N",
+        help="LP process-pool width for cold normaliser batches ('auto' or a positive int)",
+    )
+    parser.add_argument(
+        "--cell-workers",
+        default=None,
+        type=_workers_type,
+        metavar="N",
+        help="process-pool width for cell-level parallelism ('auto' or a positive int)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="append every finished cell to this crash-safe checkpoint file",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already in --checkpoint and run only the remainder",
     )
     parser.add_argument(
         "--list-scenarios", action="store_true", help="print registered scenarios and exit"
@@ -49,19 +92,43 @@ def main(argv: list[str] | None = None) -> int:
         print("\n".join(available_scenarios()))
         return 0
     if args.list_schemes:
+        from repro.study.spec import available_schemes
+
         print("\n".join(available_schemes()))
         return 0
     if not args.spec:
         parser.error("a spec file is required (or --list-scenarios / --list-schemes)")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint (the file to resume from)")
+
+    from repro.study.results import CheckpointError, StudyCheckpoint
+    from repro.study.study import Study
+
+    if args.checkpoint and not args.resume and StudyCheckpoint(args.checkpoint).exists():
+        parser.error(
+            f"checkpoint {args.checkpoint} already exists; pass --resume to "
+            "continue it, or remove the file to start over"
+        )
 
     with open(args.spec, encoding="utf-8") as handle:
         spec = json.load(handle)
-    lp_workers = args.lp_workers
-    if lp_workers is not None and lp_workers != "auto":
-        lp_workers = int(lp_workers)
     study = Study(spec)
-    print(f"Running {len(study)} experiment cell(s) ...")
-    results = study.run(backend=args.backend, lp_workers=lp_workers)
+    run_kwargs = dict(
+        backend=args.backend,
+        lp_workers=args.lp_workers,
+        cell_workers=args.cell_workers,
+    )
+    if args.resume:
+        print(f"Resuming {len(study)} experiment cell(s) from {args.checkpoint} ...")
+        try:
+            results = study.resume(args.checkpoint, **run_kwargs)
+        except CheckpointError as exc:
+            # A corrupt/foreign checkpoint is one clean line, not a
+            # traceback; cell failures still traceback as usual.
+            parser.error(str(exc))
+    else:
+        print(f"Running {len(study)} experiment cell(s) ...")
+        results = study.run(checkpoint=args.checkpoint, **run_kwargs)
     print(results.to_table(title=f"Study results ({args.spec})"))
     if args.out:
         path = results.save(args.out)

@@ -11,6 +11,8 @@ run can be stored next to the paper's tables and re-loaded for comparison.
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -20,11 +22,24 @@ import numpy as np
 from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
 from repro.evaluation.reporting import format_table
 
-__all__ = ["StudyResult", "ResultSet"]
+__all__ = ["StudyResult", "ResultSet", "StudyCheckpoint", "CheckpointError"]
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is corrupt, foreign, or version-incompatible.
+
+    A :class:`ValueError` subclass so existing ``except ValueError`` callers
+    keep working, while the CLI can distinguish checkpoint problems (clean
+    one-line error) from cell failures (full traceback).
+    """
 
 #: On-disk format marker / version of serialized result sets.
 RESULTSET_FORMAT = "repro-study-resultset"
 RESULTSET_VERSION = 1
+
+#: On-disk format marker / version of study checkpoints (JSON lines).
+CHECKPOINT_FORMAT = "repro-study-checkpoint"
+CHECKPOINT_VERSION = 1
 
 #: Metric columns shown by :meth:`ResultSet.to_table` when present.
 _DEFAULT_TABLE_METRICS = (
@@ -226,12 +241,152 @@ class ResultSet:
         return cls(StudyResult.from_dict(record) for record in payload.get("results", []))
 
     def save(self, path) -> Path:
-        """Write :meth:`to_json` output to ``path``."""
+        """Write :meth:`to_json` output to ``path`` atomically.
+
+        The document is written to a temp file in the same directory and
+        moved into place with :func:`os.replace`, so a crash mid-write
+        leaves the previous file intact instead of a truncated one that a
+        later :meth:`load` (or a study resume) would choke on.
+        """
         path = Path(path).expanduser()
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        temp = path.with_name(path.name + ".tmp")
+        temp.write_text(self.to_json() + "\n", encoding="utf-8")
+        os.replace(temp, path)
         return path
 
     @classmethod
     def load(cls, path) -> "ResultSet":
-        """Read a result set saved with :meth:`save`."""
-        return cls.from_json(Path(path).expanduser().read_text(encoding="utf-8"))
+        """Read a result set saved with :meth:`save`.
+
+        Raises:
+            ValueError: On malformed content, naming the offending path (a
+                bare JSON traceback would not say *which* file is broken).
+        """
+        path = Path(path).expanduser()
+        text = path.read_text(encoding="utf-8")
+        try:
+            return cls.from_json(text)
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise ValueError(f"could not read result set {path}: {exc}") from exc
+
+
+class StudyCheckpoint:
+    """Crash-safe, append-only store of finished study cells.
+
+    The file is JSON lines: a versioned header line followed by one
+    :meth:`StudyResult.to_dict` record per finished cell.  The header is
+    created atomically (temp file + :func:`os.replace`) and every record is
+    appended as a single flushed+fsynced write, so the checkpoint is readable
+    after a crash or Ctrl-C at any point:
+
+    * a fully appended record means that cell is done and will be skipped by
+      :meth:`repro.study.Study.resume`;
+    * a partially appended trailing record (crash mid-write) is dropped with
+      a warning and its cell simply re-runs -- and the file is compacted
+      (atomically) so later appends never concatenate onto the torn line;
+    * anything else that fails to parse (a corrupt header, junk mid-file)
+      raises a :class:`ValueError` naming the path and line, because silently
+      skipping finished work -- or treating foreign files as checkpoints --
+      would be worse than stopping.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path).expanduser()
+
+    def exists(self) -> bool:
+        """Whether the checkpoint file is already on disk."""
+        return self.path.exists()
+
+    def _needs_header(self) -> bool:
+        """True when appending would need the header written first.
+
+        Covers both a missing file and a pre-existing *empty* one (e.g. a
+        ``touch``-ed path): appending records without a header would leave a
+        file no later :meth:`load` accepts.
+        """
+        try:
+            return self.path.stat().st_size == 0
+        except FileNotFoundError:
+            return True
+
+    def create(self) -> None:
+        """Write a fresh checkpoint containing only the header (atomic)."""
+        self._rewrite([])
+
+    def _rewrite(self, records: Sequence[StudyResult]) -> None:
+        """Atomically replace the file with header + the given records."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_name(self.path.name + ".tmp")
+        header = {"format": CHECKPOINT_FORMAT, "version": CHECKPOINT_VERSION}
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for record in records:
+                handle.write(json.dumps(record.to_dict(include_series=True)) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+
+    def append(self, record: StudyResult) -> None:
+        """Append one finished cell's record (one flushed+fsynced line)."""
+        if self._needs_header():
+            self.create()
+        line = json.dumps(record.to_dict(include_series=True))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> list[StudyResult]:
+        """Read every complete record (see the class docstring for errors)."""
+        text = self.path.read_text(encoding="utf-8")
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            return []
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"corrupt study checkpoint {self.path}: unreadable header ({exc})"
+            ) from exc
+        if not isinstance(header, dict) or header.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"{self.path} is not a study checkpoint (expected a "
+                f"{CHECKPOINT_FORMAT!r} header)"
+            )
+        if header.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {header.get('version')!r} in "
+                f"{self.path} (this build reads version {CHECKPOINT_VERSION})"
+            )
+        records: list[StudyResult] = []
+        torn_tail = False
+        for number, line in enumerate(lines[1:], start=2):
+            try:
+                payload = json.loads(line)
+                record = StudyResult.from_dict(payload)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                # Only a JSON decode failure on the *last* line can be a
+                # crash-truncated append; a well-formed JSON line that is
+                # not a valid record (hand edit, writer bug) is corruption
+                # wherever it sits -- deleting it via the torn-tail
+                # compaction would silently destroy data.
+                if number == len(lines) and isinstance(exc, json.JSONDecodeError):
+                    warnings.warn(
+                        f"study checkpoint {self.path}: dropping partially "
+                        "written trailing record (interrupted mid-append); "
+                        "its cell will re-run",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    torn_tail = True
+                    break
+                raise CheckpointError(
+                    f"corrupt study checkpoint {self.path}: unreadable record "
+                    f"on line {number} ({exc})"
+                ) from exc
+            records.append(record)
+        if torn_tail:
+            # Compact the file so a later append starts on a clean line
+            # instead of concatenating onto the torn one.
+            self._rewrite(records)
+        return records

@@ -288,6 +288,20 @@ def _build_fa_des_te(path_set, *, cache=None, lp_workers=None, **params):
     return FaultAwareDesensitizationTE(path_set, **params)
 
 
+@register_scheme("linear_sens")
+def _build_linear_sens(path_set, *, cache=None, lp_workers=None, **params):
+    from repro.solvers.heuristic_f import LinearSensitivityTE
+
+    return LinearSensitivityTE(path_set, **params)
+
+
+@register_scheme("piecewise_sens")
+def _build_piecewise_sens(path_set, *, cache=None, lp_workers=None, **params):
+    from repro.solvers.heuristic_f import PiecewiseSensitivityTE
+
+    return PiecewiseSensitivityTE(path_set, **params)
+
+
 @register_scheme("pred_te")
 def _build_pred_te(path_set, *, cache=None, lp_workers=None, **params):
     from repro.solvers.lp import PredictionBasedTE

@@ -25,7 +25,11 @@ dedup layers across studies in one process (the benchmark harness does).
 from __future__ import annotations
 
 import json
+import pickle
+import warnings
 from collections.abc import Iterable, Mapping
+from concurrent.futures import CancelledError, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,12 +39,19 @@ from repro.datasets.registry import Scenario
 from repro.evaluation.engine import EvaluationEngine, EvaluationResult
 from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
 from repro.paths.path_set import PathSet
-from repro.solvers.lp import shared_cache
-from repro.study.results import ResultSet, StudyResult
+from repro.solvers.lp import (
+    OptimalMLUCache,
+    _discard_pool,
+    _pool,
+    resolve_lp_workers,
+    shared_cache,
+)
+from repro.study.results import ResultSet, StudyCheckpoint, StudyResult
 from repro.study.spec import (
     ExperimentSpec,
     InlineScenario,
     build_scheme,
+    canonical_json,
     expand_spec,
     scenario_cache_key,
 )
@@ -49,6 +60,83 @@ from repro.traffic.matrix import TrafficMatrixSequence
 from repro.traffic.perturb import gaussian_fluctuation, reverse_rank_fluctuation
 
 __all__ = ["Study"]
+
+#: Exceptions that mean "the process pool is unusable", not "a cell failed".
+#: At submit time OSError is included (sandboxed spawn denial surfaces as
+#: PermissionError); once a worker is running, an OSError coming back from
+#: ``future.result()`` is an ordinary cell failure and must propagate, so the
+#: drain loop matches only transport/pool-death errors.
+_POOL_SUBMIT_ERRORS = (BrokenProcessPool, pickle.PicklingError, OSError)
+_POOL_RESULT_ERRORS = (BrokenProcessPool, pickle.PicklingError)
+
+_CELL_POOL_FALLBACK_WARNED = False
+
+
+def _warn_cell_pool_fallback(exc: BaseException) -> None:
+    """Warn (once per process) that study cells run in-process instead."""
+    global _CELL_POOL_FALLBACK_WARNED
+    if _CELL_POOL_FALLBACK_WARNED:
+        return
+    _CELL_POOL_FALLBACK_WARNED = True
+    warnings.warn(
+        f"study cell pool unavailable ({exc!r}); running cells sequentially "
+        "in-process from now on (results are identical, just slower)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _run_cells_job(payload: tuple) -> tuple:
+    """Process-pool worker: run a group of cells sharing one scheme training.
+
+    The payload carries the (declarative, hence picklable) cells, the parent
+    engine's backend name, a snapshot of the parent's LP-cache entries, and
+    any schemes the parent had already trained for this group.  The return
+    value carries the finished records plus everything the parent merges
+    back: LP-cache entries solved here and schemes trained here (both keyed
+    exactly as the parent keys them, so the merge is a dict update).
+
+    A failing *cell* is returned as data (the fourth element) rather than
+    raised, so the group's already-finished records still reach the parent
+    -- and its checkpoint -- before the error propagates, exactly like a
+    sequential run that dies mid-grid.
+    """
+    cells, backend_name, cache_snapshot, pretrained = payload
+    cache = OptimalMLUCache()
+    cache.merge_entries(cache_snapshot)
+    engine = EvaluationEngine(cache=cache, lp_workers=None, backend=backend_name)
+    study = Study(scheme_cache=dict(pretrained))
+    finished = []
+    error: Exception | None = None
+    error_index: int | None = None
+    for index, cell in cells:
+        try:
+            record = study._run_cell(cell, engine)
+        except Exception as exc:
+            try:
+                pickle.dumps(exc)
+                error = exc
+            except Exception:
+                error = RuntimeError(f"{type(exc).__name__}: {exc}")
+            error_index = index
+            break
+        record.result = None  # the live EvaluationResult stays in the worker
+        finished.append((index, record))
+    new_entries = {
+        key: value
+        for key, value in cache.entries_snapshot().items()
+        if key not in cache_snapshot
+    }
+    trained = {}
+    for key, scheme in study._scheme_cache.items():
+        if key in pretrained:
+            continue
+        try:
+            pickle.dumps(scheme)
+        except Exception:  # exotic registered schemes just stay worker-local
+            continue
+        trained[key] = scheme
+    return finished, new_entries, trained, error, error_index
 
 
 @dataclass
@@ -65,7 +153,21 @@ class _ScenarioContext:
     _pair_std: np.ndarray | None = None
 
     def pair_std(self) -> np.ndarray:
-        """The training split's per-pair std (computed once per scenario)."""
+        """The training split's per-pair std (computed once per scenario).
+
+        Raises:
+            ValueError: If the scenario has no training split -- a spec-level
+                error naming the scenario, instead of the bare
+                ``AttributeError: 'NoneType' object has no attribute
+                'pair_std'`` a train-less scenario used to surface.
+        """
+        if self.train is None:
+            raise ValueError(
+                f"scenario {self.name!r} provides no training split, but a "
+                "fluctuation cell needs its per-pair std as the perturbation "
+                "reference; use a scenario with a training split or drop the "
+                "fluctuation perturbation for this scenario"
+            )
         if self._pair_std is None:
             self._pair_std = self.train.pair_std()
         return self._pair_std
@@ -153,6 +255,8 @@ class Study:
         engine: EvaluationEngine | None = None,
         backend: str | None = None,
         lp_workers: int | str | None = None,
+        checkpoint=None,
+        cell_workers: int | str | None = None,
     ) -> ResultSet:
         """Execute every cell and collect the uniform result records.
 
@@ -164,9 +268,303 @@ class Study:
                 the process-wide LP cache is used.
             lp_workers: LP process-pool width for cold normaliser batches
                 (``"auto"`` derives one from the CPU count).
+            checkpoint: Optional path of a :class:`StudyCheckpoint`.  Every
+                finished cell is appended to it immediately (crash-safe
+                writes), so an interrupted grid restarts where it died via
+                :meth:`resume` with zero repeat trainings or LP solves for
+                the cells already on disk.  The path must not already exist
+                -- resuming is explicit, never accidental.
+            cell_workers: Process-pool width for *cell-level* parallelism
+                (``"auto"`` derives one from the CPU count, like
+                ``lp_workers``).  Declarative cells are grouped by
+                (scenario, scheme spec) -- one training per distinct scheme
+                spec, exactly as in sequential runs -- and the groups fan
+                out over a process pool; per-worker LP-cache entries and
+                trained schemes are merged back on return, so a follow-up
+                run repeats nothing.  Cells built from live objects (which
+                cannot cross a process boundary) run in-process, and an
+                unusable pool degrades to sequential execution with one
+                warning.  Results are bit-identical to ``cell_workers=None``
+                in either case.
+
+        Raises:
+            FileExistsError: If ``checkpoint`` already exists (use
+                :meth:`resume` to continue it).
+            ValueError: If ``cell_workers`` is not ``None``, a positive int,
+                or ``"auto"``.
         """
+        if checkpoint is not None:
+            store = StudyCheckpoint(checkpoint)
+            if store.exists():
+                raise FileExistsError(
+                    f"checkpoint {store.path} already exists; call "
+                    f"Study.resume({str(store.path)!r}) to continue it, or "
+                    "remove the file to start over"
+                )
+        return self._execute(engine, backend, lp_workers, checkpoint, cell_workers, {})
+
+    def resume(
+        self,
+        checkpoint,
+        engine: EvaluationEngine | None = None,
+        backend: str | None = None,
+        lp_workers: int | str | None = None,
+        cell_workers: int | str | None = None,
+    ) -> ResultSet:
+        """Finish an interrupted checkpointed run (see :meth:`run`).
+
+        The spec grid is re-expanded, cells whose provenance already appears
+        in the saved checkpoint are skipped (their records are loaded from
+        disk), and only the remainder runs -- appending to the same file, so
+        resuming is itself interruptible.  The returned :class:`ResultSet`
+        is in spec order and bit-identical to an uninterrupted
+        ``run(checkpoint=...)``.
+
+        A missing checkpoint file simply starts a fresh checkpointed run,
+        which makes re-running one command until it succeeds a complete
+        crash-recovery loop.  A corrupt checkpoint raises a
+        :class:`ValueError` naming the file (see :class:`StudyCheckpoint`).
+
+        Args:
+            checkpoint: Path of the checkpoint written by an earlier
+                ``run(checkpoint=...)`` / ``resume(...)``.
+            engine / backend / lp_workers / cell_workers: As in :meth:`run`.
+        """
+        store = StudyCheckpoint(checkpoint)
+        completed: dict[int, StudyResult] = {}
+        if store.exists():
+            completed = self._match_checkpoint(store.load())
+        return self._execute(
+            engine, backend, lp_workers, checkpoint, cell_workers, completed
+        )
+
+    @staticmethod
+    def _reproducible(cell: ExperimentSpec) -> bool:
+        """Whether a cell's provenance fully identifies it across processes.
+
+        Live objects (scheme instances, factories, built scenarios) record
+        only an ``{"inline": <name>}`` marker -- two different objects with
+        one display name are indistinguishable on disk, so such cells are
+        never resumed from a checkpoint (they re-run instead; serving a
+        possibly-stale result silently would be worse).
+        """
+        return isinstance(cell.scenario, (str, Mapping)) and isinstance(
+            cell.scheme, Mapping
+        )
+
+    def _match_checkpoint(
+        self, saved: list[StudyResult]
+    ) -> dict[int, StudyResult]:
+        """Map saved records onto this study's cells by spec provenance.
+
+        Duplicate cells (identical provenance listed twice) match records
+        positionally; live-object cells never match (see
+        :meth:`_reproducible`); declarative records matching no cell are
+        kept on disk but excluded from the results, with a warning -- they
+        usually mean the spec changed since the checkpoint was written.
+        """
+        by_key: dict[str, list[StudyResult]] = {}
+        for record in saved:
+            by_key.setdefault(canonical_json(record.spec), []).append(record)
+        completed: dict[int, StudyResult] = {}
+        inline_cells = 0
+        inline_keys: set[str] = set()
+        for index, cell in enumerate(self.specs):
+            key = canonical_json(cell.to_dict())
+            if not self._reproducible(cell):
+                inline_cells += 1
+                inline_keys.add(key)
+                continue
+            matches = by_key.get(key)
+            if matches:
+                completed[index] = matches.pop(0)
+        if inline_cells:
+            warnings.warn(
+                f"{inline_cells} cell(s) built from live objects cannot be "
+                "identified by provenance and will re-run on resume; use "
+                "declarative scenario/scheme specs for resumable cells",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        unmatched = sum(
+            len(records)
+            for key, records in by_key.items()
+            if key not in inline_keys  # live-object records re-run by design
+        )
+        if unmatched:
+            warnings.warn(
+                f"checkpoint holds {unmatched} record(s) whose provenance "
+                "matches no cell of this spec (was the spec edited since the "
+                "checkpoint was written?); they stay on disk but are "
+                "excluded from the results",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return completed
+
+    def _execute(
+        self,
+        engine: EvaluationEngine | None,
+        backend: str | None,
+        lp_workers: int | str | None,
+        checkpoint,
+        cell_workers: int | str | None,
+        completed: dict[int, StudyResult],
+    ) -> ResultSet:
         engine = self._resolve_engine(engine, backend, lp_workers)
-        return ResultSet(self._run_cell(cell, engine) for cell in self.specs)
+        cell_workers = resolve_lp_workers(cell_workers)  # same accepted forms
+        writer = None
+        if checkpoint is not None:
+            writer = StudyCheckpoint(checkpoint)
+            if writer._needs_header():
+                writer.create()
+        records: dict[int, StudyResult] = dict(completed)
+        pending = [
+            (index, cell)
+            for index, cell in enumerate(self.specs)
+            if index not in records
+        ]
+        if cell_workers is not None and cell_workers > 1 and len(pending) > 1:
+            pending = self._run_pooled(pending, engine, cell_workers, writer, records)
+        for index, cell in pending:
+            try:
+                record = self._run_cell(cell, engine)
+            except Exception as exc:
+                if hasattr(exc, "add_note"):
+                    exc.add_note(
+                        f"raised by study cell {index + 1}/{len(self.specs)} "
+                        f"(spec: {canonical_json(cell.to_dict())})"
+                    )
+                raise
+            records[index] = record
+            if writer is not None:
+                writer.append(record)
+        return ResultSet(records[index] for index in range(len(self.specs)))
+
+    def _run_pooled(
+        self,
+        pending: list[tuple[int, ExperimentSpec]],
+        engine: EvaluationEngine,
+        cell_workers: int,
+        writer: StudyCheckpoint | None,
+        records: dict[int, StudyResult],
+    ) -> list[tuple[int, ExperimentSpec]]:
+        """Fan pending cells out over a process pool.
+
+        Cells are grouped by (scenario, scheme spec) so a distinct scheme
+        spec trains exactly once -- in whichever worker owns its group --
+        while distinct specs train in parallel.  The known trade-off of this
+        grouping: on a *cold* LP cache, groups sharing a scenario each solve
+        that scenario's replay normalisers in their own worker (deduped only
+        at merge-back), so pooled cold runs do up to schemes-per-scenario
+        times the sequential LP work; with a warm snapshot -- the bench
+        harness, resumes, any second run -- there is no duplication.
+        Pre-solving normalisers in the parent would need the per-cell
+        perturbed demand streams, i.e. most of cell execution; grouping by
+        scenario instead would serialise the trainings.  Returns the cells
+        that must still run in-process: ones carrying live objects, plus
+        everything handed back by pool-infrastructure failures (never cell
+        failures, which propagate after the surviving jobs are drained and
+        checkpointed).
+        """
+        local: list[tuple[int, ExperimentSpec]] = []
+        groups: dict[tuple[str, str], list[tuple[int, ExperimentSpec]]] = {}
+        for index, cell in pending:
+            if self._reproducible(cell):
+                groups.setdefault(
+                    (cell.scenario_key, cell.scheme_key), []
+                ).append((index, cell))
+            else:
+                local.append((index, cell))
+        if not groups:
+            return local
+        backend_name = engine.backend.name if engine.backend is not None else None
+        snapshot = engine.cache.entries_snapshot()
+        # Ship each group only the cache entries of its own path set (keyed
+        # by fingerprint) instead of pickling the whole -- possibly huge --
+        # snapshot once per job.  Resolving the scenario context here builds
+        # each scenario once in the parent (the cheap dedup layer; training
+        # stays in the workers), which both reveals the fingerprint and
+        # pre-warms the caches the in-process leftovers use.
+        per_fingerprint: dict[str, dict] = {}
+
+        def _snapshot_for(cell: ExperimentSpec) -> dict:
+            ctx = self._context(cell)
+            if ctx.paths is None:
+                return snapshot
+            fingerprint = ctx.paths.fingerprint
+            filtered = per_fingerprint.get(fingerprint)
+            if filtered is None:
+                filtered = {
+                    key: value for key, value in snapshot.items() if key[0] == fingerprint
+                }
+                per_fingerprint[fingerprint] = filtered
+            return filtered
+
+        jobs = []
+        for (scenario_key, scheme_key), cells in groups.items():
+            pretrained = {}
+            for key, scheme in self._scheme_cache.items():
+                if key[0] != scenario_key or key[1] != scheme_key:
+                    continue
+                # Probe picklability up front: the probe re-serialises the
+                # weights once (cheap next to a training), and without it one
+                # exotic cached scheme would surface as a submit-time
+                # pickling error that falls back the *entire* pool.
+                try:
+                    pickle.dumps(scheme)
+                except Exception:
+                    continue  # worker retrains; still correct, just slower
+                pretrained[key] = scheme
+            jobs.append((cells, backend_name, _snapshot_for(cells[0][1]), pretrained))
+        try:
+            pool = _pool(cell_workers)
+            futures = {pool.submit(_run_cells_job, job): job for job in jobs}
+        except _POOL_SUBMIT_ERRORS as exc:
+            _warn_cell_pool_fallback(exc)
+            _discard_pool(cell_workers)
+            return sorted(local + [item for job in jobs for item in job[0]])
+        leftover = list(local)
+        first_error: Exception | None = None
+        for future in as_completed(futures):
+            job = futures[future]
+            try:
+                finished, new_entries, trained, cell_error, error_index = future.result()
+            except CancelledError:
+                # A sibling infra failure discarded the pool and cancelled
+                # this still-queued job; its cells just run in-process.
+                leftover.extend(job[0])
+                continue
+            except _POOL_RESULT_ERRORS as exc:
+                _warn_cell_pool_fallback(exc)
+                _discard_pool(cell_workers)
+                leftover.extend(job[0])
+                continue
+            engine.cache.merge_entries(new_entries)
+            for key, scheme in trained.items():
+                self._scheme_cache.setdefault(tuple(key), scheme)
+            for index, record in finished:
+                records[index] = record
+                if writer is not None:
+                    writer.append(record)
+            if cell_error is not None and first_error is None:
+                # A *cell* failed; its group's finished records were still
+                # merged and checkpointed above.  Keep draining the other
+                # jobs, then raise -- with the same cell-identifying note
+                # the sequential path attaches.
+                if hasattr(cell_error, "add_note") and error_index is not None:
+                    failed = dict(job[0]).get(error_index)
+                    spec_note = (
+                        canonical_json(failed.to_dict()) if failed is not None else "?"
+                    )
+                    cell_error.add_note(
+                        f"raised by study cell {error_index + 1}/{len(self.specs)} "
+                        f"(spec: {spec_note})"
+                    )
+                first_error = cell_error
+        if first_error is not None:
+            raise first_error
+        return sorted(leftover)
 
     @staticmethod
     def _resolve_engine(
@@ -445,15 +843,13 @@ class Study:
         self, cell, ctx, engine, scheme, test, history_len
     ) -> StudyResult:
         perturbation = cell.perturbation
-        if ctx.train is None:
-            raise ValueError(
-                f"scenario {ctx.name!r} provides no training split (fluctuation cells "
-                "need it for the per-pair reference std)"
-            )
+        # Resolved before the baseline replay: a train-less scenario fails
+        # with pair_std's spec-level error instead of replaying first.
+        pair_std = ctx.pair_std()
         _, base_stats = self._baseline(cell, engine, ctx, scheme, test, history_len)
         perturb = reverse_rank_fluctuation if perturbation["worst_case"] else gaussian_fluctuation
         perturbed = perturb(
-            test, perturbation["alpha"], ctx.pair_std(), seed=perturbation["seed"]
+            test, perturbation["alpha"], pair_std, seed=perturbation["seed"]
         )
         result = self._replay(cell, engine, scheme, perturbed, history_len)
         stats = result.statistics
