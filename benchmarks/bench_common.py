@@ -255,7 +255,12 @@ def write_bench_record(
     Args:
         name: Bench identifier (becomes the ``BENCH_<name>.json`` filename).
         lp_workers: LP process-pool width the bench ran with (resolved, so
-            ``"auto"`` records the actual width).
+            ``"auto"`` records the actual width).  Benches that *sweep*
+            widths themselves pass ``None`` -- recorded as ``null`` rather
+            than a misleading single width -- and list the swept widths in
+            their own metrics.  ``REPRO_LP_WORKERS`` deliberately does not
+            leak into the record: only what the bench explicitly ran with is
+            written.
         update: Merge the new metrics into an existing record of the same
             bench instead of replacing it -- how several tests of one module
             extend a single ``BENCH_*.json`` (an unreadable or foreign
@@ -284,7 +289,7 @@ def write_bench_record(
         "version": BENCH_RECORD_VERSION,
         "bench": name,
         "backend": active_backend().name,
-        "lp_workers": resolve_lp_workers(lp_workers),
+        "lp_workers": resolve_lp_workers(lp_workers, use_env=False),
         "python": platform.python_version(),
         "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "metrics": metrics,

@@ -1,0 +1,158 @@
+"""Warm-started LP backend throughput on the omniscient solve hot path.
+
+``BENCH_engine_replay.json`` recorded the cold LP pass as the dominant cost
+of every first replay (~95 fresh solves/sec with scipy's ``linprog``).  The
+persistent ``highs`` backend (:mod:`repro.solvers.lp_backend`) builds one
+HiGHS model per (path set, bounds) key and per demand only rewrites the
+demand-carrying column bounds, re-solving dual-simplex from the previous
+basis.  This bench measures fresh solves/sec per backend per scenario over
+the exact demand family the engine-replay baseline solved, asserts the two
+backends agree on every optimal MLU to 1e-9, and records
+``BENCH_lp_warmstart.json`` -- the record CI's benchmark-regression job
+enforces a ``fresh_lp_solves_per_second`` floor from.
+
+Without an importable ``highs`` backend the bench skips (it exists to pin
+the warm-start win, not to re-measure scipy alone).
+
+Methodology notes baked into the record:
+
+* "Fresh" means no value cache: every demand row is LP-solved; only the
+  *model* (constraint structure for scipy, the persistent HiGHS model for
+  highs) is reused, exactly as in a cold :class:`OptimalMLUCache` pass.
+* Each backend's rate is the best of ``PASSES`` timed sweeps over the
+  demand family, because single-core benchmark boxes show double-digit
+  percent clock drift between passes; the per-pass rates are recorded too.
+* The first highs pass includes the one-time model build, so the committed
+  ``warm_vs_cold_ratio`` (steady-state single-solve rate over the
+  build-included first-sweep rate) understates the per-solve win.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+import bench_common as common
+from repro.solvers.lp import count_lp_solves, solve_mlu_lp_batch
+from repro.solvers.lp_backend import get_lp_backend, importable_lp_backends
+
+#: Scenarios x the engine-replay evaluation slice: the same demand family the
+#: 94.8 solves/sec baseline in BENCH_engine_replay.json was measured on.
+SCENARIOS = ("geant_small", "pfabric_small")
+BASELINE_SCENARIO = "geant_small"
+#: Timed sweeps per backend per scenario (best-of, drift mitigation).
+PASSES = 5
+#: Equivalence tolerance between backends on the optimal MLU.
+MLU_EQUIVALENCE_ATOL = 1e-9
+
+
+def _fresh_rate(path_set, demands, backend_name: str) -> tuple[dict, np.ndarray]:
+    """Best-of-``PASSES`` fresh solves/sec for one backend on one family."""
+    per_pass = []
+    mlus: np.ndarray | None = None
+    for _ in range(PASSES):
+        with count_lp_solves() as tally:
+            start = time.perf_counter()
+            solved = solve_mlu_lp_batch(
+                path_set, demands, backend=backend_name, mlu_only=True
+            )
+            elapsed = time.perf_counter() - start
+        assert tally.count == len(demands)
+        mlus = np.array([mlu for _, mlu in solved])
+        per_pass.append(len(demands) / elapsed)
+    return {
+        "fresh_lp_solves_per_second": max(per_pass),
+        "per_pass_solves_per_second": per_pass,
+        "num_demands": len(demands),
+    }, mlus
+
+
+def _warm_vs_cold(path_set, demands) -> dict:
+    """Steady-state warm re-solve rate vs the build-included cold sweep."""
+    backend = get_lp_backend("highs")
+    backend.clear_models()
+    start = time.perf_counter()
+    solve_mlu_lp_batch(path_set, demands, backend=backend, mlu_only=True)
+    cold_elapsed = time.perf_counter() - start
+    cold_rate = len(demands) / cold_elapsed
+    # Warm: the model exists and holds the last optimal basis; re-solving
+    # the same family again is the steady state of a long trace.
+    start = time.perf_counter()
+    solve_mlu_lp_batch(path_set, demands, backend=backend, mlu_only=True)
+    warm_elapsed = time.perf_counter() - start
+    warm_rate = len(demands) / warm_elapsed
+    return {
+        "cold_solves_per_second": cold_rate,
+        "warm_solves_per_second": warm_rate,
+        "warm_vs_cold_ratio": warm_rate / cold_rate,
+    }
+
+
+@pytest.mark.paper("Appendix B Eq. 9 solver throughput")
+def test_lp_warmstart(benchmark):
+    if "highs" not in importable_lp_backends():
+        pytest.skip("no importable highs backend (highspy or scipy >= 1.15)")
+    metrics: dict[str, dict] = {}
+
+    def run():
+        for name in SCENARIOS:
+            scenario = common.get_scenario(name)
+            demands = common.test_slice(scenario).flat_demands()
+            per_backend: dict[str, dict] = {}
+            reference: dict[str, np.ndarray] = {}
+            for backend_name in ("scipy", "highs"):
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    rates, mlus = _fresh_rate(scenario.paths, demands, backend_name)
+                per_backend[backend_name] = rates
+                reference[backend_name] = mlus
+            # The tentpole's correctness bar, asserted in the bench itself:
+            # identical optimal MLUs to 1e-9 across the whole family.
+            np.testing.assert_allclose(
+                reference["highs"],
+                reference["scipy"],
+                atol=MLU_EQUIVALENCE_ATOL,
+                rtol=0,
+            )
+            per_backend["highs"].update(_warm_vs_cold(scenario.paths, demands))
+            per_backend["speedup_vs_scipy"] = (
+                per_backend["highs"]["fresh_lp_solves_per_second"]
+                / per_backend["scipy"]["fresh_lp_solves_per_second"]
+            )
+            metrics[name] = per_backend
+        return metrics
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    headline = outcome[BASELINE_SCENARIO]["highs"]["fresh_lp_solves_per_second"]
+    common.write_bench_record(
+        "lp_warmstart",
+        lp_workers=1,  # throughput of ONE process; pools multiply it
+        passes=PASSES,
+        equivalence_atol=MLU_EQUIVALENCE_ATOL,
+        baseline_scenario=BASELINE_SCENARIO,
+        fresh_lp_solves_per_second=headline,
+        scenarios=outcome,
+    )
+    print()
+    for name, per_backend in outcome.items():
+        scipy_rate = per_backend["scipy"]["fresh_lp_solves_per_second"]
+        highs_rate = per_backend["highs"]["fresh_lp_solves_per_second"]
+        ratio = per_backend["highs"]["warm_vs_cold_ratio"]
+        print(
+            f"LP warm-start {name}: scipy {scipy_rate:.1f}/s, "
+            f"highs {highs_rate:.1f}/s "
+            f"({per_backend['speedup_vs_scipy']:.1f}x, warm/cold {ratio:.2f}x)"
+        )
+    # The committed record must show >=5x the 94.8 fresh solves/sec the
+    # engine-replay baseline recorded (474/s; CI enforces a floor from the
+    # record, scaled to runner hardware).  In-bench the gate is the
+    # *same-run* speedup over scipy, which is what warm-starting actually
+    # buys and does not flake with the clock speed of the box.
+    speedup = outcome[BASELINE_SCENARIO]["speedup_vs_scipy"]
+    assert speedup >= 5.0, (
+        f"persistent highs backend is only {speedup:.1f}x scipy on "
+        f"{BASELINE_SCENARIO} (need >= 5x; highs {headline:.1f}/s)"
+    )

@@ -75,9 +75,12 @@ def test_lp_worker_scaling(benchmark):
         return metrics
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    # This bench sweeps pool widths itself, so the record header carries
+    # lp_workers=null and the swept widths live in the metrics.
     common.write_bench_record(
         "lp_worker_scaling",
-        lp_workers="auto",
+        lp_workers=None,
+        swept_widths=[width or 1 for width in _worker_widths()],
         num_demands=NUM_DEMANDS,
         scenarios=outcome,
     )

@@ -9,4 +9,12 @@ install without building a wheel.  All project metadata lives in
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # Standalone HiGHS bindings for the persistent warm-started LP
+        # backend (REPRO_LP_BACKEND=highs).  Optional: without them the
+        # backend layer uses the copy scipy >= 1.15 vendors, and falls
+        # back to scipy's linprog (with one warning) if neither imports.
+        "highs": ["highspy"],
+    }
+)

@@ -43,6 +43,7 @@ from repro.backend import ArrayBackend, resolve_backend, use_backend
 from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
 from repro.paths.path_set import PathSet
 from repro.solvers.lp import OptimalMLUCache, resolve_lp_workers
+from repro.solvers.lp_backend import LPBackend, resolve_lp_backend
 from repro.te.failures import (
     reroute_ratios_around_failures,
     sample_failed_links,
@@ -110,8 +111,13 @@ class EvaluationEngine:
             :mod:`repro.backend`).  ``None`` (default) follows the active
             backend (the ``REPRO_BACKEND`` environment variable, numpy if
             unset); a name or instance pins this engine regardless of the
-            environment.  LP normalisers always stay on CPU/HiGHS behind
-            the cache.
+            environment.  LP normalisers always stay on CPU behind the
+            cache.
+        lp_backend: LP solver backend for the omniscient normalisers (see
+            :mod:`repro.solvers.lp_backend`) -- an ``LPBackend`` instance, a
+            registered name (``"scipy"``, ``"highs"``, ``"auto"``), or
+            ``None`` (default) for the process default (``REPRO_LP_BACKEND``,
+            scipy if unset).
     """
 
     def __init__(
@@ -119,11 +125,15 @@ class EvaluationEngine:
         cache: OptimalMLUCache | None = None,
         lp_workers: int | str | None = None,
         backend: ArrayBackend | str | None = None,
+        lp_backend: "LPBackend | str | None" = None,
     ) -> None:
         self.cache = cache if cache is not None else OptimalMLUCache()
         lp_workers = resolve_lp_workers(lp_workers)
         self.lp_workers = lp_workers if lp_workers is None or lp_workers > 1 else None
         self.backend = resolve_backend(backend) if backend is not None else None
+        self.lp_backend = (
+            resolve_lp_backend(lp_backend) if lp_backend is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     # Normalisers
@@ -136,7 +146,11 @@ class EvaluationEngine:
     ) -> np.ndarray:
         """Cached omniscient-optimal MLU for every demand vector."""
         return self.cache.optimal_mlus(
-            path_set, demands, path_mask=path_mask, workers=self.lp_workers
+            path_set,
+            demands,
+            path_mask=path_mask,
+            workers=self.lp_workers,
+            backend=self.lp_backend,
         )
 
     # ------------------------------------------------------------------ #

@@ -7,6 +7,8 @@ from repro.solvers.lp import (
     OptimalMLUCache,
     shared_cache,
     default_lp_workers,
+    resolve_lp_workers,
+    LP_WORKERS_ENV_VAR,
     lp_solve_calls,
     count_lp_solves,
     LPSolveTally,
@@ -14,6 +16,16 @@ from repro.solvers.lp import (
     constraint_structure,
     OmniscientTE,
     PredictionBasedTE,
+)
+from repro.solvers.lp_backend import (
+    LPBackend,
+    ScipyLinprogBackend,
+    PersistentHighsBackend,
+    available_lp_backends,
+    importable_lp_backends,
+    get_lp_backend,
+    resolve_lp_backend,
+    LP_BACKEND_ENV_VAR,
 )
 from repro.solvers.desensitization import DesensitizationTE, FaultAwareDesensitizationTE
 from repro.solvers.heuristic_f import LinearSensitivityTE, PiecewiseSensitivityTE
@@ -27,6 +39,16 @@ __all__ = [
     "OptimalMLUCache",
     "shared_cache",
     "default_lp_workers",
+    "resolve_lp_workers",
+    "LP_WORKERS_ENV_VAR",
+    "LPBackend",
+    "ScipyLinprogBackend",
+    "PersistentHighsBackend",
+    "available_lp_backends",
+    "importable_lp_backends",
+    "get_lp_backend",
+    "resolve_lp_backend",
+    "LP_BACKEND_ENV_VAR",
     "lp_solve_calls",
     "count_lp_solves",
     "LPSolveTally",

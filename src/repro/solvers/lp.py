@@ -22,6 +22,12 @@ rescale of the path-to-edge incidence, so everything demand-independent
 (sparsity pattern, equality rows, capacity column, bounds template) is
 precomputed once per :class:`PathSet` in :class:`MLUConstraintStructure` and
 shared by every subsequent solve.
+
+The solver itself is pluggable (see :mod:`repro.solvers.lp_backend`): the
+default ``scipy`` backend runs ``linprog`` exactly as before, while the
+``highs`` backend keeps one persistent warm-started HiGHS model per
+(path set, bounds) key -- selected per call (``backend=``), per process
+(``REPRO_LP_BACKEND``), or ``"auto"``.
 """
 
 from __future__ import annotations
@@ -40,9 +46,13 @@ from pathlib import Path
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import linprog
 
 from repro.paths.path_set import PathSet
+from repro.solvers.lp_backend import (
+    LPBackend,
+    available_lp_backends,
+    resolve_lp_backend,
+)
 from repro.te.config import TEConfiguration
 from repro.te.scheme import TEScheme
 
@@ -57,6 +67,7 @@ __all__ = [
     "shared_cache",
     "default_lp_workers",
     "resolve_lp_workers",
+    "LP_WORKERS_ENV_VAR",
     "lp_solve_calls",
     "count_lp_solves",
     "LPSolveTally",
@@ -184,6 +195,46 @@ class MLUConstraintStructure:
         self._nnz_column = np.repeat(
             np.arange(num_paths + 1), np.diff(template.indptr)
         )
+        self._trivial_upper: np.ndarray | None = None
+        self._trivial_bounds: np.ndarray | None = None
+
+    @property
+    def trivial_upper(self) -> np.ndarray:
+        """Per-path ratio upper bounds with no caps and no mask (all ones).
+
+        Built lazily, cached, and returned as the *same* array every call, so
+        the common omniscient path allocates nothing per demand and callers
+        can use an identity check for the trivial case.
+        """
+        if self._trivial_upper is None:
+            upper = np.ones(self.num_paths)
+            upper.setflags(write=False)
+            self._trivial_upper = upper
+        return self._trivial_upper
+
+    @property
+    def trivial_bounds(self) -> np.ndarray:
+        """The cached ``(num_paths + 1, 2)`` linprog bounds of the trivial case."""
+        if self._trivial_bounds is None:
+            self._trivial_bounds = self._bounds_from(self.trivial_upper)
+            self._trivial_bounds.setflags(write=False)
+        return self._trivial_bounds
+
+    def _bounds_from(self, upper: np.ndarray) -> np.ndarray:
+        bounds = np.zeros((self.num_paths + 1, 2))
+        bounds[: self.num_paths, 1] = upper
+        bounds[self.num_paths, 1] = np.inf
+        return bounds
+
+    def bounds_array(self, upper: np.ndarray) -> np.ndarray:
+        """Vectorised ``linprog`` bounds ``[(0, u_p)..., (0, inf)]`` for ``upper``.
+
+        One ``(n + 1, 2)`` ndarray instead of a per-solve Python list of
+        tuples; the trivial (no caps, no mask) array is cached.
+        """
+        if upper is self.trivial_upper:
+            return self.trivial_bounds
+        return self._bounds_from(upper)
 
     def a_ub(self, demand_vector: np.ndarray) -> sparse.csc_matrix:
         """Inequality matrix for one demand vector (shared sparsity arrays)."""
@@ -263,11 +314,33 @@ def _ratio_upper_bounds(
     return upper
 
 
+def _resolved_upper_bounds(
+    path_set: PathSet,
+    structure: MLUConstraintStructure,
+    sensitivity_caps: np.ndarray | None,
+    path_mask: np.ndarray | None,
+) -> np.ndarray:
+    """Ratio upper bounds, served from the structure cache when trivial."""
+    if sensitivity_caps is None and path_mask is None:
+        return structure.trivial_upper
+    return _ratio_upper_bounds(path_set, sensitivity_caps, path_mask)
+
+
+def _checked_demand(demand_vector, num_sd_pairs: int) -> np.ndarray:
+    demand = np.asarray(demand_vector, dtype=float)
+    if demand.shape != (num_sd_pairs,):
+        raise ValueError(
+            f"demand vector must have {num_sd_pairs} entries, got {demand.shape}"
+        )
+    return demand
+
+
 def solve_mlu_lp(
     path_set: PathSet,
     demand_vector: np.ndarray,
     sensitivity_caps: np.ndarray | None = None,
     path_mask: np.ndarray | None = None,
+    backend: "LPBackend | str | None" = None,
 ) -> tuple[TEConfiguration, float]:
     """Solve the MLU-minimisation LP for a single demand vector.
 
@@ -285,6 +358,10 @@ def solve_mlu_lp(
         path_mask: Optional boolean mask of usable paths (False = the path is
             unavailable, e.g. it traverses a failed link).  Pairs whose paths
             are all masked keep a uniform split.
+        backend: LP solver backend -- an :class:`~repro.solvers.lp_backend.
+            LPBackend` instance, a registered name (``"scipy"``, ``"highs"``,
+            ``"auto"``), or None for the process default
+            (``REPRO_LP_BACKEND``, scipy if unset).
 
     Returns:
         ``(configuration, optimal MLU)``.
@@ -295,33 +372,34 @@ def solve_mlu_lp(
     global _LP_SOLVE_CALLS
     _LP_SOLVE_CALLS += 1
     structure = constraint_structure(path_set)
-    num_paths = path_set.num_paths
-    upper = _ratio_upper_bounds(path_set, sensitivity_caps, path_mask)
-    bounds = [(0.0, float(u)) for u in upper] + [(0.0, None)]
-
-    result = linprog(
-        structure.cost,
-        A_ub=structure.a_ub(demand_vector),
-        b_ub=structure.b_ub,
-        A_eq=structure.a_eq,
-        b_eq=structure.b_eq,
-        bounds=bounds,
-        method="highs",
-    )
-    if not result.success:
-        raise LPSolveError(f"MLU LP failed: {result.message}")
-    ratios = result.x[:num_paths]
-    mlu = float(result.x[-1])
+    demand = _checked_demand(demand_vector, structure.num_sd_pairs)
+    upper = _resolved_upper_bounds(path_set, structure, sensitivity_caps, path_mask)
+    ratios, mlu = resolve_lp_backend(backend).solve(path_set, demand, upper)
     return TEConfiguration(path_set, ratios, normalize=True), mlu
 
 
-def _solve_batch_chunk(args) -> list[tuple[np.ndarray, float]]:
-    """Process-pool worker: solve a chunk of demands over one path set."""
-    path_set, demands, sensitivity_caps, path_mask = args
-    out = []
+def _solve_batch_chunk(args) -> list[tuple[np.ndarray | None, float]]:
+    """Process-pool worker: solve a chunk of demands over one path set.
+
+    The chunk resolves its LP backend once, so with the persistent ``highs``
+    backend every solve after the first warm-starts one model built for the
+    whole chunk -- the pool path amortises exactly like the sequential path.
+    """
+    global _LP_SOLVE_CALLS
+    path_set, demands, sensitivity_caps, path_mask, backend_name, mlu_only = args
+    lp_backend = resolve_lp_backend(backend_name)
+    structure = constraint_structure(path_set)
+    upper = _resolved_upper_bounds(path_set, structure, sensitivity_caps, path_mask)
+    out: list[tuple[np.ndarray | None, float]] = []
     for demand in demands:
-        config, mlu = solve_mlu_lp(path_set, demand, sensitivity_caps, path_mask)
-        out.append((config.split_ratios, mlu))
+        _LP_SOLVE_CALLS += 1
+        demand = _checked_demand(demand, structure.num_sd_pairs)
+        if mlu_only:
+            out.append((None, lp_backend.solve_mlu(path_set, demand, upper)))
+        else:
+            ratios, mlu = lp_backend.solve(path_set, demand, upper)
+            config = TEConfiguration(path_set, ratios, normalize=True)
+            out.append((config.split_ratios, mlu))
     return out
 
 
@@ -359,18 +437,58 @@ def _discard_pool(workers: int) -> None:
             pass
 
 
-def resolve_lp_workers(workers: int | str | None) -> int | None:
+#: Environment variable naming the default LP process-pool width.
+LP_WORKERS_ENV_VAR = "REPRO_LP_WORKERS"
+
+
+def _env_lp_workers() -> int | None:
+    """The ``REPRO_LP_WORKERS`` default, validated like an explicit argument."""
+    raw = os.environ.get(LP_WORKERS_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    raw = raw.strip()
+    if raw.lower() == "auto":
+        return default_lp_workers()
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{LP_WORKERS_ENV_VAR} must be unset, a positive int, or 'auto', "
+            f"got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{LP_WORKERS_ENV_VAR} must be at least 1, got {value}; unset it "
+            "for sequential execution or use 'auto' for a CPU-count-derived "
+            "width"
+        )
+    return value
+
+
+def resolve_lp_workers(
+    workers: int | str | None = None, use_env: bool = True
+) -> int | None:
     """Normalise and validate a ``workers`` argument.
 
-    Accepted forms: ``None`` (sequential), a positive int (pool width), or
-    the string ``"auto"`` (a CPU-count-derived width).  Anything else --
-    including ``0`` and negative ints, which would otherwise be silently
-    treated as sequential here and then blow up (or hang) inside the
-    process-pool layer -- raises a :class:`ValueError` naming the accepted
-    forms.  The same guard serves ``cell_workers`` at the study layer.
+    Accepted forms: ``None`` (defer to ``REPRO_LP_WORKERS``, sequential when
+    that is unset too), a positive int (pool width), or the string ``"auto"``
+    (a CPU-count-derived width).  Anything else -- including ``0`` and
+    negative ints, which would otherwise be silently treated as sequential
+    here and then blow up (or hang) inside the process-pool layer -- raises a
+    :class:`ValueError` naming the accepted forms; a contradictory
+    environment value is rejected with the same error shape.
+
+    Args:
+        workers: The caller's explicit argument (always wins over the
+            environment).
+        use_env: Pass False for worker knobs that must *not* inherit the LP
+            pool width -- the study layer's ``cell_workers`` shares this
+            guard but fans out whole cells, and nesting one pool per cell
+            worker inside the cell pool is never what ``REPRO_LP_WORKERS``
+            means.
     """
     if workers is None:
-        return None
+        return _env_lp_workers() if use_env else None
     if workers == "auto":
         return default_lp_workers()
     if isinstance(workers, bool) or not isinstance(workers, int):
@@ -391,31 +509,56 @@ def solve_mlu_lp_batch(
     sensitivity_caps: np.ndarray | None = None,
     path_mask: np.ndarray | None = None,
     workers: int | str | None = None,
-) -> list[tuple[TEConfiguration, float]]:
+    backend: "LPBackend | str | None" = None,
+    mlu_only: bool = False,
+) -> list[tuple[TEConfiguration | None, float]]:
     """Solve the MLU LP for every row of a ``(T, num_sd_pairs)`` demand array.
 
-    The solves are independent, so with ``workers`` set (an int, or
-    ``"auto"`` for an ``os.cpu_count()``-derived width) they fan out over a
-    long-lived process pool shared by all batch calls of that width (each
-    worker rebuilds the constraint structure once per chunk, then reuses
-    it).  With ``workers=None`` (default) the solves run sequentially
-    in-process, still sharing one precomputed structure.  When the pool
+    The solves are independent, so with ``workers`` set (an int, ``"auto"``
+    for an ``os.cpu_count()``-derived width, or ``REPRO_LP_WORKERS`` as the
+    process default) they fan out over a long-lived process pool shared by
+    all batch calls of that width (each worker rebuilds the constraint
+    structure -- and, for the ``highs`` backend, one persistent warm-started
+    model -- once per chunk, then reuses it).  With no width configured the
+    solves run sequentially in-process, still sharing one precomputed
+    structure, one resolved bounds array, and one warm model.  When the pool
     cannot be used at all -- the path set fails to pickle, process spawning
     is forbidden by the sandbox, or the pool dies -- the batch falls back to
     the sequential path and a single :class:`RuntimeWarning` is emitted for
     the whole process instead of failing (or silently degrading).
 
+    Args:
+        backend: LP solver backend (instance, registered name, ``"auto"``,
+            or None for the ``REPRO_LP_BACKEND`` process default).  Pool
+            workers re-resolve the backend *by name* in their own process;
+            an unregistered custom instance therefore solves sequentially.
+        mlu_only: When True, skip building the configurations and return
+            ``(None, optimal MLU)`` per row -- the normaliser fast path used
+            by :class:`OptimalMLUCache` (the values are identical, solution
+            extraction is just skipped).
+
     Returns:
-        A list of ``(configuration, optimal MLU)`` tuples, one per demand row.
+        A list of ``(configuration, optimal MLU)`` tuples, one per demand row
+        (``(None, optimal MLU)`` with ``mlu_only``).
     """
     demands = np.asarray(demands, dtype=float)
     if demands.ndim == 1:
         demands = demands[None, :]
     workers = resolve_lp_workers(workers)
-    if workers is not None and workers > 1 and len(demands) > 1:
+    lp_backend = resolve_lp_backend(backend)
+    pooled_name = lp_backend.name if lp_backend.name in available_lp_backends() else None
+    if (
+        workers is not None
+        and workers > 1
+        and len(demands) > 1
+        and pooled_name is not None
+    ):
         num_chunks = min(workers, len(demands))
         chunks = np.array_split(demands, num_chunks)
-        jobs = [(path_set, chunk, sensitivity_caps, path_mask) for chunk in chunks]
+        jobs = [
+            (path_set, chunk, sensitivity_caps, path_mask, pooled_name, mlu_only)
+            for chunk in chunks
+        ]
         try:
             chunk_results = list(_pool(workers).map(_solve_batch_chunk, jobs))
         except (
@@ -429,14 +572,28 @@ def solve_mlu_lp_batch(
             _warn_pool_fallback(exc)
         else:
             return [
-                (TEConfiguration(path_set, ratios, normalize=False), mlu)
+                (
+                    TEConfiguration(path_set, ratios, normalize=False)
+                    if ratios is not None
+                    else None,
+                    mlu,
+                )
                 for chunk in chunk_results
                 for ratios, mlu in chunk
             ]
-    return [
-        solve_mlu_lp(path_set, demand, sensitivity_caps, path_mask)
-        for demand in demands
-    ]
+    global _LP_SOLVE_CALLS
+    structure = constraint_structure(path_set)
+    upper = _resolved_upper_bounds(path_set, structure, sensitivity_caps, path_mask)
+    results: list[tuple[TEConfiguration | None, float]] = []
+    for demand in demands:
+        _LP_SOLVE_CALLS += 1
+        demand = _checked_demand(demand, structure.num_sd_pairs)
+        if mlu_only:
+            results.append((None, lp_backend.solve_mlu(path_set, demand, upper)))
+        else:
+            ratios, mlu = lp_backend.solve(path_set, demand, upper)
+            results.append((TEConfiguration(path_set, ratios, normalize=True), mlu))
+    return results
 
 
 _POOL_FALLBACK_WARNED = False
@@ -717,6 +874,7 @@ class OptimalMLUCache:
         path_set: PathSet,
         demand_vector: np.ndarray,
         path_mask: np.ndarray | None = None,
+        backend: "LPBackend | str | None" = None,
     ) -> float:
         """Cached :func:`omniscient_mlu` (optionally restricted to a path mask)."""
         demand_vector = np.asarray(demand_vector, dtype=float)
@@ -726,7 +884,13 @@ class OptimalMLUCache:
             self.hits += 1
             return cached
         self.misses += 1
-        _, mlu = solve_mlu_lp(path_set, demand_vector, path_mask=path_mask)
+        [(_, mlu)] = solve_mlu_lp_batch(
+            path_set,
+            demand_vector,
+            path_mask=path_mask,
+            backend=backend,
+            mlu_only=True,
+        )
         value = max(mlu, 1e-12)
         self._store(key, value)
         return value
@@ -737,12 +901,15 @@ class OptimalMLUCache:
         demands: np.ndarray,
         path_mask: np.ndarray | None = None,
         workers: int | str | None = None,
+        backend: "LPBackend | str | None" = None,
     ) -> np.ndarray:
         """Cached omniscient MLUs for every row of a ``(T, pairs)`` array.
 
         Rows missing from the cache are solved (fanning out over a process
         pool when ``workers`` is set) and inserted; cached rows are returned
-        without re-solving.
+        without re-solving.  The cache only keeps the optimal values, so the
+        batch runs with ``mlu_only=True`` -- solution extraction and
+        configuration construction are skipped entirely.
         """
         demands = np.ascontiguousarray(np.asarray(demands, dtype=float))
         if demands.ndim == 1:
@@ -768,7 +935,12 @@ class OptimalMLUCache:
         if missing:
             rows = [indices[0] for indices in missing.values()]
             solved = solve_mlu_lp_batch(
-                path_set, demands[rows], path_mask=path_mask, workers=workers
+                path_set,
+                demands[rows],
+                path_mask=path_mask,
+                workers=workers,
+                backend=backend,
+                mlu_only=True,
             )
             for (key, indices), (_, mlu) in zip(missing.items(), solved):
                 value = max(mlu, 1e-12)

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.study spec.json [--out results.json] [--backend numpy]
                                     [--lp-workers auto] [--cell-workers 4]
+                                    [--lp-backend highs]
                                     [--checkpoint run.ckpt [--resume]]
     python -m repro.study --list-scenarios
     python -m repro.study --list-schemes
@@ -69,6 +70,16 @@ def main(argv: list[str] | None = None) -> int:
         help="process-pool width for cell-level parallelism ('auto' or a positive int)",
     )
     parser.add_argument(
+        "--lp-backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "LP solver backend for the omniscient normalisers ('scipy', "
+            "'highs', or 'auto'; default: the REPRO_LP_BACKEND environment "
+            "variable, scipy if unset)"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint",
         metavar="PATH",
         help="append every finished cell to this crash-safe checkpoint file",
@@ -117,6 +128,7 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         lp_workers=args.lp_workers,
         cell_workers=args.cell_workers,
+        lp_backend=args.lp_backend,
     )
     if args.resume:
         print(f"Resuming {len(study)} experiment cell(s) from {args.checkpoint} ...")

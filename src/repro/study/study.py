@@ -101,10 +101,18 @@ def _run_cells_job(payload: tuple) -> tuple:
     -- and its checkpoint -- before the error propagates, exactly like a
     sequential run that dies mid-grid.
     """
-    cells, backend_name, cache_snapshot, pretrained = payload
+    cells, backend_name, lp_backend_name, cache_snapshot, pretrained = payload
     cache = OptimalMLUCache()
     cache.merge_entries(cache_snapshot)
-    engine = EvaluationEngine(cache=cache, lp_workers=None, backend=backend_name)
+    # lp_workers is pinned to 1 (sequential): each cell worker is already one
+    # process of the cell pool, and letting REPRO_LP_WORKERS leak in here
+    # would nest an LP pool inside every cell worker.
+    engine = EvaluationEngine(
+        cache=cache,
+        lp_workers=1,
+        backend=backend_name,
+        lp_backend=lp_backend_name,
+    )
     study = Study(scheme_cache=dict(pretrained))
     finished = []
     error: Exception | None = None
@@ -257,6 +265,7 @@ class Study:
         lp_workers: int | str | None = None,
         checkpoint=None,
         cell_workers: int | str | None = None,
+        lp_backend: str | None = None,
     ) -> ResultSet:
         """Execute every cell and collect the uniform result records.
 
@@ -268,6 +277,10 @@ class Study:
                 the process-wide LP cache is used.
             lp_workers: LP process-pool width for cold normaliser batches
                 (``"auto"`` derives one from the CPU count).
+            lp_backend: LP solver backend for the omniscient normalisers
+                (``"scipy"``, ``"highs"``, ``"auto"``; see
+                :mod:`repro.solvers.lp_backend`).  Like ``backend``, only
+                used when no explicit engine is given.
             checkpoint: Optional path of a :class:`StudyCheckpoint`.  Every
                 finished cell is appended to it immediately (crash-safe
                 writes), so an interrupted grid restarts where it died via
@@ -301,7 +314,9 @@ class Study:
                     f"Study.resume({str(store.path)!r}) to continue it, or "
                     "remove the file to start over"
                 )
-        return self._execute(engine, backend, lp_workers, checkpoint, cell_workers, {})
+        return self._execute(
+            engine, backend, lp_workers, checkpoint, cell_workers, {}, lp_backend
+        )
 
     def resume(
         self,
@@ -310,6 +325,7 @@ class Study:
         backend: str | None = None,
         lp_workers: int | str | None = None,
         cell_workers: int | str | None = None,
+        lp_backend: str | None = None,
     ) -> ResultSet:
         """Finish an interrupted checkpointed run (see :meth:`run`).
 
@@ -328,14 +344,15 @@ class Study:
         Args:
             checkpoint: Path of the checkpoint written by an earlier
                 ``run(checkpoint=...)`` / ``resume(...)``.
-            engine / backend / lp_workers / cell_workers: As in :meth:`run`.
+            engine / backend / lp_workers / cell_workers / lp_backend: As in
+                :meth:`run`.
         """
         store = StudyCheckpoint(checkpoint)
         completed: dict[int, StudyResult] = {}
         if store.exists():
             completed = self._match_checkpoint(store.load())
         return self._execute(
-            engine, backend, lp_workers, checkpoint, cell_workers, completed
+            engine, backend, lp_workers, checkpoint, cell_workers, completed, lp_backend
         )
 
     @staticmethod
@@ -410,9 +427,14 @@ class Study:
         checkpoint,
         cell_workers: int | str | None,
         completed: dict[int, StudyResult],
+        lp_backend: str | None = None,
     ) -> ResultSet:
-        engine = self._resolve_engine(engine, backend, lp_workers)
-        cell_workers = resolve_lp_workers(cell_workers)  # same accepted forms
+        engine = self._resolve_engine(engine, backend, lp_workers, lp_backend)
+        # Same accepted forms as lp_workers, but cell_workers must not
+        # inherit REPRO_LP_WORKERS: that variable names the LP pool width,
+        # and the cell pool nests an engine (with its own lp_workers) inside
+        # every worker.
+        cell_workers = resolve_lp_workers(cell_workers, use_env=False)
         writer = None
         if checkpoint is not None:
             writer = StudyCheckpoint(checkpoint)
@@ -479,6 +501,9 @@ class Study:
         if not groups:
             return local
         backend_name = engine.backend.name if engine.backend is not None else None
+        lp_backend_name = (
+            engine.lp_backend.name if engine.lp_backend is not None else None
+        )
         snapshot = engine.cache.entries_snapshot()
         # Ship each group only the cache entries of its own path set (keyed
         # by fingerprint) instead of pickling the whole -- possibly huge --
@@ -516,7 +541,15 @@ class Study:
                 except Exception:
                     continue  # worker retrains; still correct, just slower
                 pretrained[key] = scheme
-            jobs.append((cells, backend_name, _snapshot_for(cells[0][1]), pretrained))
+            jobs.append(
+                (
+                    cells,
+                    backend_name,
+                    lp_backend_name,
+                    _snapshot_for(cells[0][1]),
+                    pretrained,
+                )
+            )
         try:
             pool = _pool(cell_workers)
             futures = {pool.submit(_run_cells_job, job): job for job in jobs}
@@ -571,14 +604,20 @@ class Study:
         engine: EvaluationEngine | None,
         backend: str | None,
         lp_workers: int | str | None,
+        lp_backend: str | None = None,
     ) -> EvaluationEngine:
         if engine is not None:
             return engine
-        if backend is None and lp_workers is None:
+        if backend is None and lp_workers is None and lp_backend is None:
             from repro.evaluation.runner import default_engine
 
             return default_engine()
-        return EvaluationEngine(cache=shared_cache(), lp_workers=lp_workers, backend=backend)
+        return EvaluationEngine(
+            cache=shared_cache(),
+            lp_workers=lp_workers,
+            backend=backend,
+            lp_backend=lp_backend,
+        )
 
     # ------------------------------------------------------------------ #
     # Shared-work resolution (the dedup layers)
@@ -651,7 +690,7 @@ class Study:
         """
         if not isinstance(cell, ExperimentSpec):
             cell = ExperimentSpec.from_dict(cell)
-        engine = self._resolve_engine(engine, None, None)
+        engine = self._resolve_engine(engine, None, None, None)
         ctx = self._context(cell)
         return self._resolve_scheme(cell, ctx, engine, ctx.train, "default")
 
