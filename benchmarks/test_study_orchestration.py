@@ -32,7 +32,7 @@ import pytest
 import bench_common as common
 from repro.evaluation.engine import EvaluationEngine
 from repro.solvers.lp import OptimalMLUCache, count_lp_solves
-from repro.study import Study, sweep
+from repro.study import ResultWarehouse, Study, Suite, expand_suite, sweep
 from repro.traffic.perturb import gaussian_fluctuation
 
 #: The grid: three Figure-5 scenarios x three neural schemes x two
@@ -322,4 +322,101 @@ def test_study_cell_worker_scaling(benchmark):
         cell_pool_grid_cells=cells,
         cell_pool_degraded=degraded,
         **scaling_metrics,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Suite layer: expansion throughput + warehouse append overhead
+# --------------------------------------------------------------------- #
+def _suite_descriptor(repetitions: int = 2) -> dict:
+    """Two studies over the warmed geant schemes, repeated ``repetitions``x.
+
+    No ``seeds`` axis: the bench scenario specs pin their seed (shared with
+    every other bench via the session caches), and a suite seeds axis would
+    rightly refuse to override a pinned seed.
+    """
+    return {
+        "name": "bench-suite",
+        "repetitions": repetitions,
+        "studies": [
+            {"name": "replay", "spec": {
+                "scenario": common.scenario_spec("geant_small"),
+                "scheme": sweep(
+                    common.scheme_spec("figret", "geant_small", 0.1, EPOCHS),
+                    common.scheme_spec("dote", "geant_small", 0.0, EPOCHS),
+                ),
+                "max_intervals": MAX_INTERVALS,
+            }},
+            {"name": "fluctuation", "spec": {
+                "scenario": common.scenario_spec("geant_small"),
+                "scheme": common.scheme_spec("figret", "geant_small", 0.1, EPOCHS),
+                "perturbation": dict(FLUCTUATION),
+                "max_intervals": MAX_INTERVALS,
+            }},
+        ],
+    }
+
+
+@pytest.mark.paper("suite orchestration")
+def test_suite_orchestration_and_warehouse_overhead(tmp_path):
+    """Suite expansion is pure dict work; warehouse appends stay invisible.
+
+    Expansion throughput is measured on a 600-cell descriptor (200
+    repetitions of the 3-cell suite) and floored very conservatively at 200
+    cells/sec.  The run comparison times a warm suite run (trainings and
+    replays all cache hits via the session caches) with and without a
+    warehouse attached -- the gap is exactly the durable-append cost, and
+    the per-cell append time lands in the record for trend tracking.
+    """
+    wide = _suite_descriptor(repetitions=200)
+    gc.collect()
+    start = time.perf_counter()
+    wide_cells = expand_suite(wide)
+    expand_seconds = time.perf_counter() - start
+    expand_rate = len(wide_cells) / expand_seconds
+    assert len(wide_cells) == 600
+    assert expand_rate >= 200.0, (
+        f"suite expansion slowed to {expand_rate:.0f} cells/s (floor 200/s)"
+    )
+
+    engine = common.bench_engine()
+    descriptor = _suite_descriptor()
+
+    def suite():
+        return Suite(
+            descriptor,
+            scheme_cache=common.SCHEME_CACHE,
+            scenario_cache=common.SCENARIO_CACHE,
+        )
+
+    suite().run(engine=engine)  # warm trainings, replays, normalisers
+    cells = len(suite())
+
+    warehouse = ResultWarehouse(tmp_path / "bench_suite.jsonl")
+    plain_s, warehouse_s = _compare(
+        lambda: suite().run(engine=engine),
+        lambda: suite().run(engine=engine, warehouse=warehouse),
+        rounds=5,
+    )
+    records = warehouse.results()
+    assert len(records) == 5 * cells  # every timed round appended its cells
+    append_seconds_per_cell = max(0.0, warehouse_s - plain_s) / cells
+
+    print(
+        f"suite: {expand_rate:.0f} expanded cells/s; warm run {plain_s * 1e3:.1f} ms "
+        f"plain vs {warehouse_s * 1e3:.1f} ms warehoused "
+        f"({append_seconds_per_cell * 1e3:.2f} ms/cell durable append)"
+    )
+
+    common.write_bench_record(
+        "study_orchestration",
+        lp_workers=engine.lp_workers,
+        update=True,
+        suite_cells=cells,
+        suite_expand_cells=len(wide_cells),
+        suite_expand_seconds=expand_seconds,
+        suite_expand_cells_per_second=expand_rate,
+        suite_warm_run_seconds=plain_s,
+        suite_warm_warehoused_run_seconds=warehouse_s,
+        suite_warehouse_append_seconds_per_cell=append_seconds_per_cell,
     )

@@ -1,6 +1,11 @@
 """Evaluation harness: metrics, scheme runner, timing, and report formatting."""
 
-from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics, severe_congestion_fraction
+from repro.evaluation.metrics import (
+    MLUStatistics,
+    mean_confidence_interval,
+    normalized_mlu_statistics,
+    severe_congestion_fraction,
+)
 from repro.evaluation.engine import EvaluationEngine, build_history_windows, iter_window_chunks
 from repro.evaluation.runner import (
     EvaluationResult,
@@ -20,6 +25,7 @@ __all__ = [
     "MLUStatistics",
     "normalized_mlu_statistics",
     "severe_congestion_fraction",
+    "mean_confidence_interval",
     "EvaluationEngine",
     "build_history_windows",
     "iter_window_chunks",

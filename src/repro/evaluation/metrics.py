@@ -17,6 +17,7 @@ __all__ = [
     "MLUStatistics",
     "normalized_mlu_statistics",
     "severe_congestion_fraction",
+    "mean_confidence_interval",
     "SEVERE_CONGESTION_THRESHOLD",
 ]
 
@@ -59,6 +60,42 @@ def severe_congestion_fraction(
     if series.size == 0:
         raise ValueError("cannot compute statistics of an empty series")
     return float((series > threshold).mean())
+
+
+def mean_confidence_interval(
+    values: np.ndarray, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Mean and Student-t confidence half-width of a sample.
+
+    The warehouse's repetition/seed aggregation reports every metric as
+    ``mean +/- half_width`` at the given confidence level.  The half-width
+    uses the t distribution with ``n - 1`` degrees of freedom (the correct
+    small-sample interval for a handful of repetitions); a single sample has
+    no spread information, so its half-width is reported as ``0.0``.
+
+    Args:
+        values: Per-repetition metric values (flattened).
+        confidence: Two-sided confidence level in ``(0, 1)``.
+
+    Returns:
+        ``(mean, half_width)`` -- the interval is ``mean +/- half_width``.
+
+    Raises:
+        ValueError: On an empty sample or a confidence outside ``(0, 1)``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence!r}")
+    sample = np.asarray(values, dtype=float).ravel()
+    if sample.size == 0:
+        raise ValueError("cannot compute a confidence interval of an empty sample")
+    mean = float(sample.mean())
+    if sample.size == 1:
+        return mean, 0.0
+    from scipy import stats  # deferred: keep metrics import light
+
+    sem = float(sample.std(ddof=1)) / float(np.sqrt(sample.size))
+    half_width = float(stats.t.ppf(0.5 + confidence / 2.0, sample.size - 1) * sem)
+    return mean, half_width
 
 
 def normalized_mlu_statistics(normalized_mlus: np.ndarray) -> MLUStatistics:

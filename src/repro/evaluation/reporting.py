@@ -17,7 +17,19 @@ __all__ = ["format_table", "format_mlu_comparison", "format_series"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:
-    """Format a list of rows as an aligned ASCII table."""
+    """Format a list of rows as an aligned ASCII table.
+
+    Raises:
+        ValueError: If any row's cell count differs from ``len(headers)``,
+            naming the offending row (a mismatched row used to surface as a
+            bare ``IndexError`` from the column-width pass).
+    """
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"table row {index} has {len(row)} cell(s) but there are "
+                f"{len(headers)} header(s): {[str(cell) for cell in row]!r}"
+            )
     str_rows = [[str(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in str_rows:

@@ -25,12 +25,25 @@ repeat trainings or LP solves for finished cells), while
 ``Study.run(cell_workers=N)`` fans independent cells -- and distinct scheme
 trainings -- out over a process pool with bit-identical results.
 
+Above single studies sits the *suite* layer: a :class:`Suite` descriptor
+declares studies x seeds x repetitions x free-form annotations as one plain
+dict, expands to cells with suite provenance stamped into their tags, and a
+:class:`ResultWarehouse` -- a durable, append-only JSONL store -- accumulates
+finished cells across sessions with filtering
+(:meth:`~repro.study.warehouse.ResultWarehouse.query`), repetition/seed
+aggregation with confidence intervals
+(:meth:`~repro.study.warehouse.ResultWarehouse.aggregate`), and a flat CSV
+export (:meth:`~repro.study.warehouse.ResultWarehouse.export_csv`).
+
 Run a JSON spec from the shell with ``python -m repro.study spec.json``
-(``--checkpoint`` / ``--resume`` / ``--cell-workers`` expose the same knobs).
+(``--checkpoint`` / ``--resume`` / ``--cell-workers`` expose the same
+knobs); ``python -m repro.study suite | query | export`` run and analyze a
+whole suite against a warehouse.
 """
 
 from repro.study.results import (
     CheckpointError,
+    JsonlRecordStore,
     ResultSet,
     StudyCheckpoint,
     StudyResult,
@@ -45,15 +58,22 @@ from repro.study.spec import (
     sweep,
 )
 from repro.study.study import Study
+from repro.study.suite import Suite, expand_suite
+from repro.study.warehouse import ResultWarehouse, WarehouseError
 
 __all__ = [
     "Study",
+    "Suite",
+    "expand_suite",
     "ExperimentSpec",
     "InlineScenario",
     "CheckpointError",
     "ResultSet",
+    "JsonlRecordStore",
+    "ResultWarehouse",
     "StudyCheckpoint",
     "StudyResult",
+    "WarehouseError",
     "sweep",
     "expand_spec",
     "register_scheme",

@@ -1,23 +1,33 @@
-"""Run a declarative study from the command line.
+"""Run declarative studies and suites from the command line.
 
 Usage::
 
     python -m repro.study spec.json [--out results.json] [--backend numpy]
                                     [--lp-workers auto] [--cell-workers 4]
-                                    [--lp-backend highs]
+                                    [--lp-backend highs] [--warehouse wh.jsonl]
                                     [--checkpoint run.ckpt [--resume]]
+    python -m repro.study suite suite.json --warehouse wh.jsonl
+                                    [--checkpoint run.ckpt [--resume]] [...]
+    python -m repro.study query wh.jsonl [--suite S] [--study T] [--seed N]
+                                    [--scenario X] [--scheme Y] [--group-by cols]
+    python -m repro.study export wh.jsonl out.csv [same filters as query]
     python -m repro.study --list-scenarios
     python -m repro.study --list-schemes
 
-The spec file is a JSON study spec (sweep axes spelled ``{"sweep": [...]}``);
-the run prints the result table and optionally writes the full
-:class:`~repro.study.results.ResultSet` (spec provenance + series) to
-``--out``.
+The first form runs one study spec (sweep axes spelled ``{"sweep": [...]}``),
+prints the result table, and optionally writes the full
+:class:`~repro.study.results.ResultSet` to ``--out``.  The ``suite`` form
+runs a whole suite descriptor (studies x seeds x repetitions, see
+:mod:`repro.study.suite`) appending every finished cell to the given
+warehouse; ``query`` aggregates a warehouse (mean +/- confidence half-width
+over repetitions, pooled percentile columns) and ``export`` writes the
+``run_table``-style flat CSV.
 
 Crash recovery: with ``--checkpoint`` every finished cell is appended to the
 given file as it completes, and re-running the same command with ``--resume``
 added skips the finished cells and completes the remainder -- so a killed
-200-cell grid restarts where it died instead of from scratch.
+200-cell suite restarts where it died instead of from scratch, with its
+warehouse reconciled (no lost or duplicated records).
 """
 
 from __future__ import annotations
@@ -47,13 +57,8 @@ def _workers_type(value: str):
     return workers
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.study",
-        description="Expand and run a declarative experiment-study spec.",
-    )
-    parser.add_argument("spec", nargs="?", help="path to a JSON study spec")
-    parser.add_argument("--out", help="write the full ResultSet JSON here")
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """The execution knobs shared by the study and suite runners."""
     parser.add_argument("--backend", help="array backend for the replay hot path")
     parser.add_argument(
         "--lp-workers",
@@ -90,6 +95,215 @@ def main(argv: list[str] | None = None) -> int:
         help="skip cells already in --checkpoint and run only the remainder",
     )
     parser.add_argument(
+        "--warehouse",
+        metavar="PATH",
+        help="append every finished cell to this durable results warehouse",
+    )
+
+
+def _run_kwargs(args) -> dict:
+    return dict(
+        backend=args.backend,
+        lp_workers=args.lp_workers,
+        cell_workers=args.cell_workers,
+        lp_backend=args.lp_backend,
+        warehouse=args.warehouse,
+    )
+
+
+def _check_run_flags(parser: argparse.ArgumentParser, args) -> None:
+    from repro.study.results import StudyCheckpoint
+
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint (the file to resume from)")
+    if args.checkpoint and not args.resume and StudyCheckpoint(args.checkpoint).exists():
+        parser.error(
+            f"checkpoint {args.checkpoint} already exists; pass --resume to "
+            "continue it, or remove the file to start over"
+        )
+
+
+def _add_query_filters(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", help="filter: scenario display name")
+    parser.add_argument("--scheme", help="filter: scheme display name")
+    parser.add_argument(
+        "--experiment", help="filter: experiment kind (replay/fluctuation/failure/drift)"
+    )
+    parser.add_argument("--suite", help="filter: suite name tag")
+    parser.add_argument("--study", help="filter: study name tag")
+    parser.add_argument("--seed", type=int, help="filter: suite seed tag")
+    parser.add_argument("--repetition", type=int, help="filter: repetition tag")
+
+
+def _queried(parser: argparse.ArgumentParser, args):
+    """Open the warehouse and apply the shared filters (clean CLI errors)."""
+    from repro.study.warehouse import ResultWarehouse, WarehouseError
+
+    store = ResultWarehouse(args.warehouse)
+    if not store.exists():
+        parser.error(f"no results warehouse at {args.warehouse}")
+    try:
+        results = store.query(
+            scenario=args.scenario,
+            scheme=args.scheme,
+            experiment=args.experiment,
+            suite=args.suite,
+            study=args.study,
+            seed=args.seed,
+            repetition=args.repetition,
+        )
+    except WarehouseError as exc:
+        parser.error(str(exc))
+    return store, results
+
+
+def _cmd_suite(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study suite",
+        description=(
+            "Run a suite descriptor (studies x seeds x repetitions) into a "
+            "results warehouse."
+        ),
+    )
+    parser.add_argument("descriptor", help="path to a JSON suite descriptor")
+    parser.add_argument("--out", help="write the full ResultSet JSON here")
+    _add_run_options(parser)
+    args = parser.parse_args(argv)
+    _check_run_flags(parser, args)
+
+    from repro.study.results import CheckpointError
+    from repro.study.suite import Suite
+
+    with open(args.descriptor, encoding="utf-8") as handle:
+        descriptor = json.load(handle)
+    try:
+        suite = Suite(descriptor)
+    except ValueError as exc:
+        parser.error(str(exc))
+    run_kwargs = _run_kwargs(args)
+    if args.resume:
+        print(
+            f"Resuming suite {suite.name!r}: {len(suite)} cell(s) from "
+            f"{args.checkpoint} ..."
+        )
+        try:
+            results = suite.resume(args.checkpoint, **run_kwargs)
+        except CheckpointError as exc:
+            parser.error(str(exc))
+    else:
+        print(f"Running suite {suite.name!r}: {len(suite)} experiment cell(s) ...")
+        results = suite.run(checkpoint=args.checkpoint, **run_kwargs)
+    print(results.to_table(title=f"Suite results ({suite.name})"))
+    if args.warehouse:
+        print(f"\nWarehoused {len(results)} record(s) in {args.warehouse}")
+    if args.out:
+        path = results.save(args.out)
+        print(f"Wrote {len(results)} records to {path}")
+    return 0
+
+
+def _cmd_query(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study query",
+        description=(
+            "Filter and aggregate a results warehouse: mean +/- confidence "
+            "half-width over the grouped records, percentile columns "
+            "recomputed from the pooled stored series."
+        ),
+    )
+    parser.add_argument("warehouse", help="path to a results warehouse (JSONL)")
+    _add_query_filters(parser)
+    parser.add_argument(
+        "--group-by",
+        default="scenario,scheme,experiment",
+        metavar="COLS",
+        help=(
+            "comma-separated group columns (record attributes scenario/"
+            "scheme/experiment and tag keys suite/study/seed/repetition mix "
+            "freely; default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--metric",
+        default="mean",
+        help="per-record metric aggregated as mean +/- half-width (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="two-sided confidence level of the half-width (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the aggregate rows as JSON"
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.confidence < 1.0:
+        parser.error(f"--confidence must be in (0, 1), got {args.confidence}")
+    store, results = _queried(parser, args)
+    group_by = [column.strip() for column in args.group_by.split(",") if column.strip()]
+    if not group_by:
+        parser.error("--group-by needs at least one column")
+    rows = store.aggregate(
+        results, group_by=group_by, metric=args.metric, confidence=args.confidence
+    )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(f"{len(results)} record(s) match")
+    print(
+        store.aggregate_table(
+            results,
+            group_by=group_by,
+            metric=args.metric,
+            confidence=args.confidence,
+            title=f"Warehouse aggregate ({args.warehouse})",
+        )
+    )
+    return 0
+
+
+def _cmd_export(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study export",
+        description=(
+            "Export a results warehouse as a run_table-style flat CSV: one "
+            "row per record, provenance columns + every metric column."
+        ),
+    )
+    parser.add_argument("warehouse", help="path to a results warehouse (JSONL)")
+    parser.add_argument("csv", help="output CSV path")
+    _add_query_filters(parser)
+    args = parser.parse_args(argv)
+    store, results = _queried(parser, args)
+    count = store.export_csv(args.csv, results)
+    print(f"Wrote {count} row(s) to {args.csv}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Subcommand dispatch keeps the original `python -m repro.study spec.json`
+    # form working verbatim (a spec file literally named `suite` would need
+    # `./suite`).
+    if argv[:1] == ["suite"]:
+        return _cmd_suite(argv[1:])
+    if argv[:1] == ["query"]:
+        return _cmd_query(argv[1:])
+    if argv[:1] == ["export"]:
+        return _cmd_export(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study",
+        description=(
+            "Expand and run a declarative experiment-study spec "
+            "(subcommands: suite, query, export)."
+        ),
+    )
+    parser.add_argument("spec", nargs="?", help="path to a JSON study spec")
+    parser.add_argument("--out", help="write the full ResultSet JSON here")
+    _add_run_options(parser)
+    parser.add_argument(
         "--list-scenarios", action="store_true", help="print registered scenarios and exit"
     )
     parser.add_argument(
@@ -109,27 +323,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if not args.spec:
         parser.error("a spec file is required (or --list-scenarios / --list-schemes)")
-    if args.resume and not args.checkpoint:
-        parser.error("--resume requires --checkpoint (the file to resume from)")
+    _check_run_flags(parser, args)
 
-    from repro.study.results import CheckpointError, StudyCheckpoint
+    from repro.study.results import CheckpointError
     from repro.study.study import Study
-
-    if args.checkpoint and not args.resume and StudyCheckpoint(args.checkpoint).exists():
-        parser.error(
-            f"checkpoint {args.checkpoint} already exists; pass --resume to "
-            "continue it, or remove the file to start over"
-        )
 
     with open(args.spec, encoding="utf-8") as handle:
         spec = json.load(handle)
     study = Study(spec)
-    run_kwargs = dict(
-        backend=args.backend,
-        lp_workers=args.lp_workers,
-        cell_workers=args.cell_workers,
-        lp_backend=args.lp_backend,
-    )
+    run_kwargs = _run_kwargs(args)
     if args.resume:
         print(f"Resuming {len(study)} experiment cell(s) from {args.checkpoint} ...")
         try:

@@ -22,7 +22,35 @@ import numpy as np
 from repro.evaluation.metrics import MLUStatistics, normalized_mlu_statistics
 from repro.evaluation.reporting import format_table
 
-__all__ = ["StudyResult", "ResultSet", "StudyCheckpoint", "CheckpointError"]
+__all__ = [
+    "StudyResult",
+    "ResultSet",
+    "JsonlRecordStore",
+    "StudyCheckpoint",
+    "CheckpointError",
+]
+
+
+def fsync_directory(path: Path) -> None:
+    """Flush a directory entry to disk (best effort).
+
+    After an ``os.replace`` (or a first append creating a file), the *file*
+    contents are durable once fsynced, but the directory entry pointing at
+    them is not until the directory itself is synced -- a crash could roll
+    the rename back.  Platforms without directory fds (or filesystems that
+    refuse to fsync them) are silently tolerated; durability degrades to
+    what the platform offers.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class CheckpointError(ValueError):
@@ -77,6 +105,20 @@ class StudyResult:
     metrics: dict
     series: np.ndarray | None = None
     result: object | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def tags(self) -> dict:
+        """Free-form provenance tags carried by the cell spec.
+
+        Suites stamp ``suite`` / ``study`` / ``seed`` / ``repetition`` (plus
+        any annotations) in here; the warehouse filters, groups, and exports
+        by these keys.
+        """
+        if isinstance(self.spec, dict):
+            tags = self.spec.get("tags")
+            if isinstance(tags, dict):
+                return tags
+        return {}
 
     @property
     def statistics(self) -> MLUStatistics:
@@ -238,20 +280,38 @@ class ResultSet:
                 f"unsupported result-set version {payload.get('version')!r} "
                 f"(this build reads version {RESULTSET_VERSION})"
             )
-        return cls(StudyResult.from_dict(record) for record in payload.get("results", []))
+        results = payload.get("results")
+        if not isinstance(results, list):
+            # A correct header with a missing/mangled body is corruption, not
+            # an empty result set: silently returning zero records would make
+            # a truncated file look like a study that produced nothing.
+            raise ValueError(
+                "corrupt result-set document: 'results' is "
+                f"{type(results).__name__ if results is not None else 'missing'}, "
+                "expected a list of records"
+            )
+        return cls(StudyResult.from_dict(record) for record in results)
 
     def save(self, path) -> Path:
-        """Write :meth:`to_json` output to ``path`` atomically.
+        """Write :meth:`to_json` output to ``path`` atomically and durably.
 
-        The document is written to a temp file in the same directory and
-        moved into place with :func:`os.replace`, so a crash mid-write
-        leaves the previous file intact instead of a truncated one that a
-        later :meth:`load` (or a study resume) would choke on.
+        The document is written to a temp file in the same directory,
+        flushed and fsynced, and moved into place with :func:`os.replace`
+        (followed by a directory fsync), so a crash at any point leaves
+        either the previous file or the complete new one -- never a
+        truncated document that a later :meth:`load` (or a study resume)
+        would choke on, and never a rename the filesystem quietly rolls
+        back.  Parent directories are created as needed.
         """
         path = Path(path).expanduser()
+        path.parent.mkdir(parents=True, exist_ok=True)
         temp = path.with_name(path.name + ".tmp")
-        temp.write_text(self.to_json() + "\n", encoding="utf-8")
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temp, path)
+        fsync_directory(path.parent)
         return path
 
     @classmethod
@@ -270,25 +330,40 @@ class ResultSet:
             raise ValueError(f"could not read result set {path}: {exc}") from exc
 
 
-class StudyCheckpoint:
-    """Crash-safe, append-only store of finished study cells.
+class JsonlRecordStore:
+    """Crash-safe, append-only JSON-lines store of :class:`StudyResult` records.
 
-    The file is JSON lines: a versioned header line followed by one
-    :meth:`StudyResult.to_dict` record per finished cell.  The header is
-    created atomically (temp file + :func:`os.replace`) and every record is
-    appended as a single flushed+fsynced write, so the checkpoint is readable
-    after a crash or Ctrl-C at any point:
+    The shared persistence idiom of the study layer (checkpoints, the results
+    warehouse): a versioned header line followed by one
+    :meth:`StudyResult.to_dict` record per line.  The header is created
+    atomically (temp file + :func:`os.replace` + directory fsync) and every
+    record is appended as a single flushed+fsynced write, so the store is
+    readable after a crash or Ctrl-C at any point:
 
-    * a fully appended record means that cell is done and will be skipped by
-      :meth:`repro.study.Study.resume`;
+    * a fully appended record is durable and complete;
     * a partially appended trailing record (crash mid-write) is dropped with
-      a warning and its cell simply re-runs -- and the file is compacted
-      (atomically) so later appends never concatenate onto the torn line;
+      a warning and the file is compacted (atomically) so later appends never
+      concatenate onto the torn line;
     * anything else that fails to parse (a corrupt header, junk mid-file)
-      raises a :class:`ValueError` naming the path and line, because silently
-      skipping finished work -- or treating foreign files as checkpoints --
-      would be worse than stopping.
+      raises the store's error class naming the path and line, because
+      silently dropping finished work -- or treating foreign files as this
+      store's -- would be worse than stopping.
+
+    Subclasses pin the on-disk identity via ``_format`` / ``_version`` /
+    ``_error`` and the human noun used in messages via ``_kind`` /
+    ``_torn_tail_hint``.
     """
+
+    #: On-disk format marker (subclasses must override).
+    _format = ""
+    #: On-disk format version (bump to invalidate existing files).
+    _version = 0
+    #: Error raised on corrupt / foreign / version-mismatched files.
+    _error: type[ValueError] = ValueError
+    #: Human name used in error and warning messages.
+    _kind = "record store"
+    #: Appended to the torn-tail warning (what dropping the record means).
+    _torn_tail_hint = "the interrupted append must be retried"
 
     def __init__(self, path) -> None:
         self.path = Path(path).expanduser()
@@ -310,14 +385,14 @@ class StudyCheckpoint:
             return True
 
     def create(self) -> None:
-        """Write a fresh checkpoint containing only the header (atomic)."""
+        """Write a fresh store containing only the header (atomic)."""
         self._rewrite([])
 
     def _rewrite(self, records: Sequence[StudyResult]) -> None:
-        """Atomically replace the file with header + the given records."""
+        """Atomically + durably replace the file with header + the records."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         temp = self.path.with_name(self.path.name + ".tmp")
-        header = {"format": CHECKPOINT_FORMAT, "version": CHECKPOINT_VERSION}
+        header = {"format": self._format, "version": self._version}
         with open(temp, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(header) + "\n")
             for record in records:
@@ -325,9 +400,10 @@ class StudyCheckpoint:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp, self.path)
+        fsync_directory(self.path.parent)
 
     def append(self, record: StudyResult) -> None:
-        """Append one finished cell's record (one flushed+fsynced line)."""
+        """Append one record (one flushed+fsynced line)."""
         if self._needs_header():
             self.create()
         line = json.dumps(record.to_dict(include_series=True))
@@ -335,6 +411,12 @@ class StudyCheckpoint:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        fsync_directory(self.path.parent)
+
+    def extend(self, records: Iterable[StudyResult]) -> None:
+        """Append several records (each its own crash-safe line)."""
+        for record in records:
+            self.append(record)
 
     def load(self) -> list[StudyResult]:
         """Read every complete record (see the class docstring for errors)."""
@@ -345,18 +427,18 @@ class StudyCheckpoint:
         try:
             header = json.loads(lines[0])
         except json.JSONDecodeError as exc:
-            raise CheckpointError(
-                f"corrupt study checkpoint {self.path}: unreadable header ({exc})"
+            raise self._error(
+                f"corrupt {self._kind} {self.path}: unreadable header ({exc})"
             ) from exc
-        if not isinstance(header, dict) or header.get("format") != CHECKPOINT_FORMAT:
-            raise CheckpointError(
-                f"{self.path} is not a study checkpoint (expected a "
-                f"{CHECKPOINT_FORMAT!r} header)"
+        if not isinstance(header, dict) or header.get("format") != self._format:
+            raise self._error(
+                f"{self.path} is not a {self._kind} (expected a "
+                f"{self._format!r} header)"
             )
-        if header.get("version") != CHECKPOINT_VERSION:
-            raise CheckpointError(
-                f"unsupported checkpoint version {header.get('version')!r} in "
-                f"{self.path} (this build reads version {CHECKPOINT_VERSION})"
+        if header.get("version") != self._version:
+            raise self._error(
+                f"unsupported {self._kind} version {header.get('version')!r} in "
+                f"{self.path} (this build reads version {self._version})"
             )
         records: list[StudyResult] = []
         torn_tail = False
@@ -372,16 +454,16 @@ class StudyCheckpoint:
                 # compaction would silently destroy data.
                 if number == len(lines) and isinstance(exc, json.JSONDecodeError):
                     warnings.warn(
-                        f"study checkpoint {self.path}: dropping partially "
+                        f"{self._kind} {self.path}: dropping partially "
                         "written trailing record (interrupted mid-append); "
-                        "its cell will re-run",
+                        f"{self._torn_tail_hint}",
                         RuntimeWarning,
                         stacklevel=2,
                     )
                     torn_tail = True
                     break
-                raise CheckpointError(
-                    f"corrupt study checkpoint {self.path}: unreadable record "
+                raise self._error(
+                    f"corrupt {self._kind} {self.path}: unreadable record "
                     f"on line {number} ({exc})"
                 ) from exc
             records.append(record)
@@ -390,3 +472,20 @@ class StudyCheckpoint:
             # instead of concatenating onto the torn one.
             self._rewrite(records)
         return records
+
+
+class StudyCheckpoint(JsonlRecordStore):
+    """Crash-safe, append-only store of finished study cells.
+
+    A :class:`JsonlRecordStore` whose records are the finished cells of one
+    study run: a fully appended record means that cell is done and will be
+    skipped by :meth:`repro.study.Study.resume`; a torn trailing record is
+    dropped (its cell simply re-runs); corrupt or foreign files raise a
+    :class:`CheckpointError` naming the path and line.
+    """
+
+    _format = CHECKPOINT_FORMAT
+    _version = CHECKPOINT_VERSION
+    _error = CheckpointError
+    _kind = "study checkpoint"
+    _torn_tail_hint = "its cell will re-run"

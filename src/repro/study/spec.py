@@ -448,6 +448,14 @@ class ExperimentSpec:
             raise ValueError("an experiment cell requires a scenario")
         if self.scheme is None:
             raise ValueError("an experiment cell requires a scheme")
+        if not isinstance(self.tags, Mapping):
+            raise TypeError(
+                f"cell tags must be a mapping, got {type(self.tags).__name__}"
+            )
+        # Tags ride into result provenance and warehouse exports; failing a
+        # non-JSON-safe tag here (cell construction) beats failing it after
+        # the cell has already been executed.
+        _jsonify(self.tags)
         self.perturbation = _normalize_perturbation(self.perturbation)
         if isinstance(self.scheme, Mapping):
             # Fail fast on unknown kinds, before any cell executes.

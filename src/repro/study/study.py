@@ -47,6 +47,7 @@ from repro.solvers.lp import (
     shared_cache,
 )
 from repro.study.results import ResultSet, StudyCheckpoint, StudyResult
+from repro.study.warehouse import ResultWarehouse
 from repro.study.spec import (
     ExperimentSpec,
     InlineScenario,
@@ -266,6 +267,7 @@ class Study:
         checkpoint=None,
         cell_workers: int | str | None = None,
         lp_backend: str | None = None,
+        warehouse=None,
     ) -> ResultSet:
         """Execute every cell and collect the uniform result records.
 
@@ -299,6 +301,12 @@ class Study:
                 unusable pool degrades to sequential execution with one
                 warning.  Results are bit-identical to ``cell_workers=None``
                 in either case.
+            warehouse: Optional path or :class:`~repro.study.warehouse.
+                ResultWarehouse` that every finished cell is appended to as
+                it completes (after the checkpoint append, with the same
+                crash-safe writes).  Unlike a checkpoint, a warehouse is
+                *shared*: it may already hold records of other suites,
+                studies, and sessions, and this run simply appends to it.
 
         Raises:
             FileExistsError: If ``checkpoint`` already exists (use
@@ -315,7 +323,8 @@ class Study:
                     "remove the file to start over"
                 )
         return self._execute(
-            engine, backend, lp_workers, checkpoint, cell_workers, {}, lp_backend
+            engine, backend, lp_workers, checkpoint, cell_workers, {}, lp_backend,
+            warehouse,
         )
 
     def resume(
@@ -326,6 +335,7 @@ class Study:
         lp_workers: int | str | None = None,
         cell_workers: int | str | None = None,
         lp_backend: str | None = None,
+        warehouse=None,
     ) -> ResultSet:
         """Finish an interrupted checkpointed run (see :meth:`run`).
 
@@ -344,15 +354,21 @@ class Study:
         Args:
             checkpoint: Path of the checkpoint written by an earlier
                 ``run(checkpoint=...)`` / ``resume(...)``.
-            engine / backend / lp_workers / cell_workers / lp_backend: As in
-                :meth:`run`.
+            engine / backend / lp_workers / cell_workers / lp_backend /
+                warehouse: As in :meth:`run`.  Cells loaded from the
+                checkpoint were appended to the warehouse by the session
+                that ran them, so they are not re-appended here; a final
+                :meth:`~repro.study.warehouse.ResultWarehouse.sync` pass
+                restores any record lost in the crash window between a
+                checkpoint append and its warehouse append.
         """
         store = StudyCheckpoint(checkpoint)
         completed: dict[int, StudyResult] = {}
         if store.exists():
             completed = self._match_checkpoint(store.load())
         return self._execute(
-            engine, backend, lp_workers, checkpoint, cell_workers, completed, lp_backend
+            engine, backend, lp_workers, checkpoint, cell_workers, completed,
+            lp_backend, warehouse,
         )
 
     @staticmethod
@@ -428,6 +444,7 @@ class Study:
         cell_workers: int | str | None,
         completed: dict[int, StudyResult],
         lp_backend: str | None = None,
+        warehouse=None,
     ) -> ResultSet:
         engine = self._resolve_engine(engine, backend, lp_workers, lp_backend)
         # Same accepted forms as lp_workers, but cell_workers must not
@@ -440,6 +457,15 @@ class Study:
             writer = StudyCheckpoint(checkpoint)
             if writer._needs_header():
                 writer.create()
+        store = None
+        if warehouse is not None:
+            store = (
+                warehouse
+                if isinstance(warehouse, ResultWarehouse)
+                else ResultWarehouse(warehouse)
+            )
+            if store._needs_header():
+                store.create()
         records: dict[int, StudyResult] = dict(completed)
         pending = [
             (index, cell)
@@ -447,7 +473,9 @@ class Study:
             if index not in records
         ]
         if cell_workers is not None and cell_workers > 1 and len(pending) > 1:
-            pending = self._run_pooled(pending, engine, cell_workers, writer, records)
+            pending = self._run_pooled(
+                pending, engine, cell_workers, writer, records, store
+            )
         for index, cell in pending:
             try:
                 record = self._run_cell(cell, engine)
@@ -461,7 +489,16 @@ class Study:
             records[index] = record
             if writer is not None:
                 writer.append(record)
-        return ResultSet(records[index] for index in range(len(self.specs)))
+            if store is not None:
+                store.append(record)
+        results = ResultSet(records[index] for index in range(len(self.specs)))
+        if store is not None and completed:
+            # Resumed cells were warehoused by the session that ran them --
+            # except any lost in the crash window between their checkpoint
+            # append and their warehouse append.  Reconcile by provenance so
+            # the warehouse ends up complete without duplicating anything.
+            store.sync(results)
+        return results
 
     def _run_pooled(
         self,
@@ -470,6 +507,7 @@ class Study:
         cell_workers: int,
         writer: StudyCheckpoint | None,
         records: dict[int, StudyResult],
+        store: ResultWarehouse | None = None,
     ) -> list[tuple[int, ExperimentSpec]]:
         """Fan pending cells out over a process pool.
 
@@ -580,6 +618,8 @@ class Study:
                 records[index] = record
                 if writer is not None:
                     writer.append(record)
+                if store is not None:
+                    store.append(record)
             if cell_error is not None and first_error is None:
                 # A *cell* failed; its group's finished records were still
                 # merged and checkpointed above.  Keep draining the other

@@ -7,6 +7,7 @@ import pytest
 
 from repro.evaluation.metrics import (
     SEVERE_CONGESTION_THRESHOLD,
+    mean_confidence_interval,
     normalized_mlu_statistics,
     severe_congestion_fraction,
 )
@@ -47,6 +48,39 @@ class TestMetrics:
             normalized_mlu_statistics(np.array([]))
         with pytest.raises(ValueError):
             severe_congestion_fraction(np.array([]))
+
+
+class TestMeanConfidenceInterval:
+    def test_matches_student_t_by_hand(self):
+        from scipy import stats
+
+        values = [1.0, 2.0, 3.0]
+        mean, half = mean_confidence_interval(values, confidence=0.95)
+        assert mean == pytest.approx(2.0)
+        sem = np.std(values, ddof=1) / np.sqrt(3)
+        assert half == pytest.approx(stats.t.ppf(0.975, 2) * sem)
+
+    def test_single_sample_has_zero_half_width(self):
+        assert mean_confidence_interval([1.7]) == (pytest.approx(1.7), 0.0)
+
+    def test_constant_sample_has_zero_half_width(self):
+        mean, half = mean_confidence_interval([2.0, 2.0, 2.0, 2.0])
+        assert mean == pytest.approx(2.0)
+        assert half == pytest.approx(0.0)
+
+    def test_higher_confidence_widens_the_interval(self):
+        values = [1.0, 1.4, 2.2, 0.9]
+        _, narrow = mean_confidence_interval(values, confidence=0.5)
+        _, wide = mean_confidence_interval(values, confidence=0.99)
+        assert narrow < wide
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError, match="confidence"):
+            mean_confidence_interval([1.0], confidence=1.0)
+        with pytest.raises(ValueError, match="confidence"):
+            mean_confidence_interval([1.0], confidence=0.0)
 
 
 class TestRunner:

@@ -41,6 +41,16 @@ class TestFormatTable:
         lines = out.splitlines()
         assert all(len(line) == len(lines[0]) for line in lines)
 
+    def test_wide_row_raises_naming_the_row(self):
+        with pytest.raises(ValueError, match=r"table row 1 has 3 cell\(s\)"):
+            format_table(["a", "b"], [["1", "2"], ["1", "2", "3"]])
+
+    def test_short_row_raises_naming_the_row(self):
+        # Used to slip past the width computation and blow up later (or
+        # render a ragged table); now it is a ValueError up front.
+        with pytest.raises(ValueError, match=r"table row 0 has 1 cell\(s\) but there are 2 header\(s\)"):
+            format_table(["a", "b"], [["only"]])
+
 
 # --------------------------------------------------------------------------- #
 # format_mlu_comparison
@@ -143,6 +153,26 @@ class TestResultSetRoundTrip:
         text = ResultSet([]).to_json().replace('"version": 1', '"version": 99')
         with pytest.raises(ValueError, match="unsupported result-set version"):
             ResultSet.from_json(text)
+
+    def test_from_json_rejects_missing_results_key(self):
+        # A valid header with the body sheared off is corruption -- it must
+        # not decode as "the study produced zero records".
+        text = '{"format": "repro-study-resultset", "version": 1}'
+        with pytest.raises(ValueError, match="corrupt result-set document: 'results' is missing"):
+            ResultSet.from_json(text)
+
+    def test_from_json_rejects_non_list_results(self):
+        text = '{"format": "repro-study-resultset", "version": 1, "results": {}}'
+        with pytest.raises(ValueError, match="corrupt result-set document: 'results' is dict"):
+            ResultSet.from_json(text)
+
+    def test_save_creates_missing_parent_directories(self, tmp_path):
+        record = StudyResult(
+            scenario="s", scheme="m", experiment="replay", spec={},
+            metrics={"mean": 1.0}, series=None,
+        )
+        path = ResultSet([record]).save(tmp_path / "deep" / "nested" / "results.json")
+        assert len(ResultSet.load(path)) == 1
 
     def test_save_and_load(self, tmp_path):
         record = StudyResult(
