@@ -39,8 +39,20 @@ Run a JSON spec from the shell with ``python -m repro.study spec.json``
 (``--checkpoint`` / ``--resume`` / ``--cell-workers`` expose the same
 knobs); ``python -m repro.study suite | query | export`` run and analyze a
 whole suite against a warehouse.
+
+For long-lived workloads the *study service* keeps the runner warm:
+``python -m repro.study serve`` starts a Unix-socket daemon
+(:class:`StudyServer`) with a FIFO job queue and one process-wide LP
+cache, scenario cache, and trained-scheme store shared across every
+submitted job, so identical or overlapping grids from any client
+(:class:`StudyClient`, or ``submit``/``status``/``cancel`` from the
+shell) re-run with zero repeat LP solves or trainings.  Underneath,
+``Study.run`` is a facade over :meth:`Study.plan` +
+:meth:`Study.execute` -- the scheduler-owns-the-loop split the daemon
+(and any notebook) builds on.
 """
 
+from repro.study.client import JobOutcome, StudyClient, StudyServiceError
 from repro.study.results import (
     CheckpointError,
     JsonlRecordStore,
@@ -57,13 +69,20 @@ from repro.study.spec import (
     register_scheme,
     sweep,
 )
-from repro.study.study import Study
+from repro.study.server import StudyServer
+from repro.study.study import Study, StudyCancelled, StudyPlan
 from repro.study.suite import Suite, expand_suite
 from repro.study.warehouse import ResultWarehouse, WarehouseError
 
 __all__ = [
     "Study",
+    "StudyCancelled",
+    "StudyPlan",
     "Suite",
+    "StudyServer",
+    "StudyClient",
+    "StudyServiceError",
+    "JobOutcome",
     "expand_suite",
     "ExperimentSpec",
     "InlineScenario",

@@ -11,6 +11,13 @@ Usage::
     python -m repro.study query wh.jsonl [--suite S] [--study T] [--seed N]
                                     [--scenario X] [--scheme Y] [--group-by cols]
     python -m repro.study export wh.jsonl out.csv [same filters as query]
+    python -m repro.study serve --socket /tmp/repro.sock [--warehouse wh.jsonl]
+                                    [--spool-dir DIR] [run knobs]
+    python -m repro.study submit spec.json --socket /tmp/repro.sock [--suite]
+                                    [--checkpoint NAME [--resume]]
+                                    [--warehouse wh.jsonl] [--out results.json]
+    python -m repro.study status --socket /tmp/repro.sock [--job JOB]
+    python -m repro.study cancel JOB --socket /tmp/repro.sock
     python -m repro.study --list-scenarios
     python -m repro.study --list-schemes
 
@@ -28,6 +35,14 @@ given file as it completes, and re-running the same command with ``--resume``
 added skips the finished cells and completes the remainder -- so a killed
 200-cell suite restarts where it died instead of from scratch, with its
 warehouse reconciled (no lost or duplicated records).
+
+The ``serve`` form starts the long-lived study daemon
+(:mod:`repro.study.server`): one warm LP cache, scenario cache, and
+trained-scheme store shared across every job any client submits.
+``submit`` sends a spec (or, with ``--suite``, a suite descriptor) to a
+running daemon and streams per-cell records back as they finish;
+``status`` / ``cancel`` inspect and stop queued or running jobs (cancelled
+jobs stay checkpointed and resumable via ``submit --resume``).
 """
 
 from __future__ import annotations
@@ -123,6 +138,31 @@ def _check_run_flags(parser: argparse.ArgumentParser, args) -> None:
         )
 
 
+def _load_json_file(parser: argparse.ArgumentParser, path: str, what: str) -> dict:
+    """Read a JSON file with CLI-grade errors.
+
+    A missing spec file or a syntax error in it is operator input, so it
+    exits via ``parser.error`` like every other bad argument -- not an
+    ``OSError`` / ``JSONDecodeError`` traceback.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        parser.error(f"cannot read {what} {path}: {exc.strerror or exc}")
+    except json.JSONDecodeError as exc:
+        parser.error(f"{what} {path} is not valid JSON: {exc}")
+
+
+def _socket_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="Unix socket path of the study daemon",
+    )
+
+
 def _add_query_filters(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scenario", help="filter: scenario display name")
     parser.add_argument("--scheme", help="filter: scheme display name")
@@ -174,11 +214,10 @@ def _cmd_suite(argv: list[str]) -> int:
     from repro.study.results import CheckpointError
     from repro.study.suite import Suite
 
-    with open(args.descriptor, encoding="utf-8") as handle:
-        descriptor = json.load(handle)
+    descriptor = _load_json_file(parser, args.descriptor, "suite descriptor")
     try:
         suite = Suite(descriptor)
-    except ValueError as exc:
+    except (TypeError, ValueError) as exc:
         parser.error(str(exc))
     run_kwargs = _run_kwargs(args)
     if args.resume:
@@ -281,6 +320,228 @@ def _cmd_export(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_serve(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study serve",
+        description=(
+            "Start the long-lived study daemon: a Unix-socket service with "
+            "a FIFO job queue and one warm LP/scenario/scheme cache shared "
+            "across every submitted job."
+        ),
+    )
+    _socket_option(parser)
+    parser.add_argument(
+        "--warehouse",
+        metavar="PATH",
+        help="default results warehouse jobs append to (a submit may override)",
+    )
+    parser.add_argument(
+        "--spool-dir",
+        metavar="DIR",
+        help=(
+            "directory job checkpoint names resolve under "
+            "(default: <socket>.spool/ next to the socket)"
+        ),
+    )
+    parser.add_argument("--backend", help="array backend for the replay hot path")
+    parser.add_argument(
+        "--lp-workers", default=None, type=_workers_type, metavar="N",
+        help="LP process-pool width for cold normaliser batches",
+    )
+    parser.add_argument(
+        "--cell-workers", default=None, type=_workers_type, metavar="N",
+        help="process-pool width jobs run their cells with (default: sequential)",
+    )
+    parser.add_argument(
+        "--lp-backend", default=None, metavar="NAME",
+        help="LP solver backend ('scipy', 'highs', or 'auto')",
+    )
+    args = parser.parse_args(argv)
+
+    import signal
+    import threading
+
+    from repro.study.server import StudyServer
+
+    server = StudyServer(
+        args.socket,
+        warehouse=args.warehouse,
+        spool_dir=args.spool_dir,
+        backend=args.backend,
+        lp_workers=args.lp_workers,
+        lp_backend=args.lp_backend,
+        cell_workers=args.cell_workers,
+    )
+
+    def _stop(signum, frame):  # noqa: ARG001 - signal handler signature
+        print(
+            f"\nStopping study daemon ({signal.Signals(signum).name}): "
+            "cancelling jobs at the next cell boundary ...",
+            flush=True,
+        )
+        server.stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+
+    ready = threading.Event()
+
+    def _announce() -> None:
+        if ready.wait(timeout=30):
+            print(
+                f"Study daemon listening on {server.socket_path} "
+                f"(spool: {server.spool_dir})",
+                flush=True,
+            )
+
+    threading.Thread(target=_announce, daemon=True).start()
+    try:
+        server.serve_forever(ready=ready)
+    except OSError as exc:
+        # e.g. a live daemon already owns the socket path
+        parser.error(str(exc))
+    print("Study daemon stopped.")
+    return 0
+
+
+def _cmd_submit(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study submit",
+        description=(
+            "Submit a study spec (or suite descriptor) to a running study "
+            "daemon and stream per-cell records back as they finish."
+        ),
+    )
+    parser.add_argument("spec", help="path to a JSON study spec (or suite descriptor)")
+    _socket_option(parser)
+    parser.add_argument(
+        "--suite", action="store_true",
+        help="treat the file as a suite descriptor instead of a study spec",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="NAME",
+        help=(
+            "checkpoint name, resolved under the daemon's spool directory "
+            "(makes the job cancellable and resumable)"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume a cancelled/killed checkpointed job (needs --checkpoint)",
+    )
+    parser.add_argument(
+        "--warehouse", metavar="PATH",
+        help="results warehouse override for this job",
+    )
+    parser.add_argument("--out", help="write the full ResultSet JSON here")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint (the name the job ran with)")
+
+    from repro.study.client import StudyClient, StudyServiceError
+
+    spec = _load_json_file(
+        parser, args.spec, "suite descriptor" if args.suite else "study spec"
+    )
+
+    def _progress(message: dict) -> None:
+        if args.quiet:
+            return
+        mtype = message.get("type")
+        if mtype == "accepted":
+            print(
+                f"Accepted as {message['job']}: {message['cells']} cell(s), "
+                f"{message['queued_ahead']} job(s) queued ahead"
+            )
+        elif mtype == "record":
+            record = message["record"]
+            print(
+                f"  [{message['completed']}/{message['total']}] "
+                f"{record['scenario']} / {record['scheme']} / {record['experiment']}"
+            )
+
+    client = StudyClient(args.socket)
+    try:
+        outcome = client.submit(
+            spec,
+            kind="suite" if args.suite else "study",
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            warehouse=args.warehouse,
+            on_message=_progress,
+        )
+    except StudyServiceError as exc:
+        parser.error(str(exc))
+    if outcome.status == "cancelled":
+        print(
+            f"Job {outcome.job} cancelled after "
+            f"{outcome.summary.get('completed', 0)}/{outcome.summary.get('total', '?')} "
+            f"cell(s): {outcome.summary.get('reason', 'cancelled')} "
+            "(re-submit with --resume to finish it)"
+        )
+        return 1
+    summary = outcome.summary
+    print(outcome.results.to_table(title=f"Study results ({outcome.job})"))
+    print(
+        f"\n{summary.get('records', len(outcome.results))} record(s) in "
+        f"{summary.get('wall_seconds', 0.0):.2f}s -- {summary.get('lp_solves')} "
+        f"LP solve(s), {summary.get('trainings')} training(s) "
+        "(0/0 = fully served from the daemon's warm caches)"
+    )
+    if args.out:
+        path = outcome.results.save(args.out)
+        print(f"Wrote {len(outcome.results)} records to {path}")
+    return 0
+
+
+def _cmd_status(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study status",
+        description=(
+            "Show a running study daemon's uptime, warm-cache sizes, and "
+            "per-job progress (as JSON)."
+        ),
+    )
+    _socket_option(parser)
+    parser.add_argument("--job", metavar="JOB", help="show only this job")
+    args = parser.parse_args(argv)
+
+    from repro.study.client import StudyClient, StudyServiceError
+
+    try:
+        status = StudyClient(args.socket).status(job=args.job)
+    except StudyServiceError as exc:
+        parser.error(str(exc))
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cancel(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study cancel",
+        description=(
+            "Cancel a queued or running job on the study daemon; finished "
+            "cells stay checkpointed, so the job is resumable with "
+            "'submit --resume'."
+        ),
+    )
+    parser.add_argument("job", help="job id (as printed by submit/status)")
+    _socket_option(parser)
+    args = parser.parse_args(argv)
+
+    from repro.study.client import StudyClient, StudyServiceError
+
+    try:
+        reply = StudyClient(args.socket).cancel(args.job)
+    except StudyServiceError as exc:
+        parser.error(str(exc))
+    print(f"Job {args.job}: {reply.get('type', 'cancelled')}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # Subcommand dispatch keeps the original `python -m repro.study spec.json`
@@ -292,12 +553,20 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_query(argv[1:])
     if argv[:1] == ["export"]:
         return _cmd_export(argv[1:])
+    if argv[:1] == ["serve"]:
+        return _cmd_serve(argv[1:])
+    if argv[:1] == ["submit"]:
+        return _cmd_submit(argv[1:])
+    if argv[:1] == ["status"]:
+        return _cmd_status(argv[1:])
+    if argv[:1] == ["cancel"]:
+        return _cmd_cancel(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.study",
         description=(
             "Expand and run a declarative experiment-study spec "
-            "(subcommands: suite, query, export)."
+            "(subcommands: suite, query, export, serve, submit, status, cancel)."
         ),
     )
     parser.add_argument("spec", nargs="?", help="path to a JSON study spec")
@@ -328,9 +597,11 @@ def main(argv: list[str] | None = None) -> int:
     from repro.study.results import CheckpointError
     from repro.study.study import Study
 
-    with open(args.spec, encoding="utf-8") as handle:
-        spec = json.load(handle)
-    study = Study(spec)
+    spec = _load_json_file(parser, args.spec, "study spec")
+    try:
+        study = Study(spec)
+    except (TypeError, ValueError) as exc:
+        parser.error(str(exc))
     run_kwargs = _run_kwargs(args)
     if args.resume:
         print(f"Resuming {len(study)} experiment cell(s) from {args.checkpoint} ...")

@@ -60,7 +60,73 @@ from repro.te.scheme import TEScheme
 from repro.traffic.matrix import TrafficMatrixSequence
 from repro.traffic.perturb import gaussian_fluctuation, reverse_rank_fluctuation
 
-__all__ = ["Study"]
+__all__ = ["Study", "StudyPlan", "StudyCancelled"]
+
+
+class StudyCancelled(RuntimeError):
+    """Execution stopped because ``should_stop`` asked it to.
+
+    Raised by :meth:`Study.execute` *between* cells, after the finished
+    cells were checkpointed/warehoused -- so a cancelled checkpointed run is
+    exactly an interrupted one: :meth:`Study.resume` (or re-submitting the
+    job to a study server) completes the remainder with zero repeat work.
+
+    Attributes:
+        completed: Number of cells finished when the stop took effect
+            (including cells loaded from a resumed checkpoint).
+        total: Total number of cells in the study.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(
+            f"study cancelled after {completed}/{total} cell(s); the finished "
+            "cells are checkpointed and the study is resumable"
+        )
+        self.completed = completed
+        self.total = total
+
+
+@dataclass
+class StudyPlan:
+    """What :meth:`Study.execute` will run, and with which resources.
+
+    Built by :meth:`Study.plan` -- the plan-build half of the old monolithic
+    ``Study.run`` loop.  A plan is inert data: nothing has been trained,
+    solved, or written when it exists (checkpoint/warehouse headers are
+    created by :meth:`Study.execute`), so a scheduler -- the study server's
+    job queue, a notebook, a test -- can inspect what is left to do, decide
+    when to run it, and own the execution loop via ``on_cell`` /
+    ``should_stop`` callbacks.
+
+    Attributes:
+        pending: ``(index, cell)`` pairs still to run, in spec order.
+        completed: Records already finished (loaded from a resumed
+            checkpoint), keyed by cell index.
+        engine: The resolved evaluation engine every cell runs through.
+        cell_workers: Resolved cell process-pool width (``None`` =
+            sequential).
+        checkpoint: The checkpoint store finished cells append to (or
+            ``None``).
+        warehouse: The results warehouse finished cells append to (or
+            ``None``).
+    """
+
+    pending: list[tuple[int, "ExperimentSpec"]]
+    completed: dict[int, StudyResult]
+    engine: EvaluationEngine
+    cell_workers: int | None
+    checkpoint: StudyCheckpoint | None
+    warehouse: ResultWarehouse | None
+
+    @property
+    def total(self) -> int:
+        """Total number of cells in the study (pending + completed)."""
+        return len(self.pending) + len(self.completed)
+
+    @property
+    def remaining(self) -> int:
+        """Number of cells that still need to run."""
+        return len(self.pending)
 
 #: Exceptions that mean "the process pool is unusable", not "a cell failed".
 #: At submit time OSError is included (sandboxed spawn denial surfaces as
@@ -314,17 +380,16 @@ class Study:
             ValueError: If ``cell_workers`` is not ``None``, a positive int,
                 or ``"auto"``.
         """
-        if checkpoint is not None:
-            store = StudyCheckpoint(checkpoint)
-            if store.exists():
-                raise FileExistsError(
-                    f"checkpoint {store.path} already exists; call "
-                    f"Study.resume({str(store.path)!r}) to continue it, or "
-                    "remove the file to start over"
-                )
-        return self._execute(
-            engine, backend, lp_workers, checkpoint, cell_workers, {}, lp_backend,
-            warehouse,
+        return self.execute(
+            self.plan(
+                engine=engine,
+                backend=backend,
+                lp_workers=lp_workers,
+                checkpoint=checkpoint,
+                cell_workers=cell_workers,
+                lp_backend=lp_backend,
+                warehouse=warehouse,
+            )
         )
 
     def resume(
@@ -362,13 +427,17 @@ class Study:
                 restores any record lost in the crash window between a
                 checkpoint append and its warehouse append.
         """
-        store = StudyCheckpoint(checkpoint)
-        completed: dict[int, StudyResult] = {}
-        if store.exists():
-            completed = self._match_checkpoint(store.load())
-        return self._execute(
-            engine, backend, lp_workers, checkpoint, cell_workers, completed,
-            lp_backend, warehouse,
+        return self.execute(
+            self.plan(
+                engine=engine,
+                backend=backend,
+                lp_workers=lp_workers,
+                checkpoint=checkpoint,
+                cell_workers=cell_workers,
+                lp_backend=lp_backend,
+                warehouse=warehouse,
+                resume=True,
+            )
         )
 
     @staticmethod
@@ -435,28 +504,64 @@ class Study:
             )
         return completed
 
-    def _execute(
+    def plan(
         self,
-        engine: EvaluationEngine | None,
-        backend: str | None,
-        lp_workers: int | str | None,
-        checkpoint,
-        cell_workers: int | str | None,
-        completed: dict[int, StudyResult],
+        engine: EvaluationEngine | None = None,
+        backend: str | None = None,
+        lp_workers: int | str | None = None,
+        checkpoint=None,
+        cell_workers: int | str | None = None,
         lp_backend: str | None = None,
         warehouse=None,
-    ) -> ResultSet:
+        resume: bool = False,
+    ) -> StudyPlan:
+        """Build the execution plan :meth:`run` / :meth:`resume` would run.
+
+        The plan-build half of the orchestration loop: validate the
+        checkpoint situation, match already-finished cells (when
+        ``resume=True``), resolve the engine and pool widths, and return an
+        inert :class:`StudyPlan` describing exactly what :meth:`execute`
+        will do.  Nothing is trained, solved, or written here, so a
+        scheduler (the study server's job queue, a test harness) can build
+        plans eagerly and own the loop itself.
+
+        Args:
+            engine / backend / lp_workers / checkpoint / cell_workers /
+                lp_backend / warehouse: As in :meth:`run`.
+            resume: When true, cells whose provenance already appears in the
+                (existing) checkpoint are loaded as completed instead of
+                pending -- :meth:`resume` semantics; a missing checkpoint
+                file simply plans a fresh run.  When false, an existing
+                checkpoint raises :class:`FileExistsError` -- :meth:`run`
+                semantics (resuming is explicit, never accidental).
+
+        Raises:
+            FileExistsError: If ``checkpoint`` exists and ``resume`` is
+                false.
+            ValueError: If ``resume`` is true without a ``checkpoint``, or
+                ``cell_workers`` is invalid.
+        """
+        completed: dict[int, StudyResult] = {}
+        if checkpoint is not None:
+            store = StudyCheckpoint(checkpoint)
+            if resume:
+                if store.exists():
+                    completed = self._match_checkpoint(store.load())
+            elif store.exists():
+                raise FileExistsError(
+                    f"checkpoint {store.path} already exists; call "
+                    f"Study.resume({str(store.path)!r}) to continue it, or "
+                    "remove the file to start over"
+                )
+        elif resume:
+            raise ValueError("resume=True needs a checkpoint path to resume from")
         engine = self._resolve_engine(engine, backend, lp_workers, lp_backend)
         # Same accepted forms as lp_workers, but cell_workers must not
         # inherit REPRO_LP_WORKERS: that variable names the LP pool width,
         # and the cell pool nests an engine (with its own lp_workers) inside
         # every worker.
         cell_workers = resolve_lp_workers(cell_workers, use_env=False)
-        writer = None
-        if checkpoint is not None:
-            writer = StudyCheckpoint(checkpoint)
-            if writer._needs_header():
-                writer.create()
+        writer = StudyCheckpoint(checkpoint) if checkpoint is not None else None
         store = None
         if warehouse is not None:
             store = (
@@ -464,19 +569,79 @@ class Study:
                 if isinstance(warehouse, ResultWarehouse)
                 else ResultWarehouse(warehouse)
             )
-            if store._needs_header():
-                store.create()
-        records: dict[int, StudyResult] = dict(completed)
         pending = [
             (index, cell)
             for index, cell in enumerate(self.specs)
-            if index not in records
+            if index not in completed
         ]
+        return StudyPlan(
+            pending=pending,
+            completed=completed,
+            engine=engine,
+            cell_workers=cell_workers,
+            checkpoint=writer,
+            warehouse=store,
+        )
+
+    def execute(
+        self,
+        plan: StudyPlan,
+        on_cell=None,
+        should_stop=None,
+    ) -> ResultSet:
+        """Run a :class:`StudyPlan` and collect the uniform result records.
+
+        The execution half of the orchestration loop.  ``run()`` is exactly
+        ``execute(plan())`` and ``resume(path)`` is exactly
+        ``execute(plan(checkpoint=path, resume=True))``; a scheduler calls
+        this directly to observe and steer the loop:
+
+        Args:
+            plan: The plan built by :meth:`plan`.
+            on_cell: Optional ``on_cell(index, record)`` callback invoked
+                after each newly finished cell is checkpointed/warehoused --
+                the study server streams records to its clients from here.
+                Called in completion order (spec order when sequential; pool
+                completion order under ``cell_workers``).
+            should_stop: Optional zero-argument callable polled between
+                cells (and before a pooled fan-out).  When it returns true,
+                execution stops *cleanly*: everything finished so far is
+                already on disk, and :class:`StudyCancelled` is raised so
+                the caller knows the run is partial but resumable.
+
+        Raises:
+            StudyCancelled: When ``should_stop`` returned true before the
+                grid finished.
+        """
+        engine = plan.engine
+        writer = plan.checkpoint
+        if writer is not None and writer._needs_header():
+            writer.create()
+        store = plan.warehouse
+        if store is not None and store._needs_header():
+            store.create()
+        records: dict[int, StudyResult] = dict(plan.completed)
+        pending = list(plan.pending)
+        total = len(self.specs)
+
+        def _notify(index: int, record: StudyResult) -> None:
+            if writer is not None:
+                writer.append(record)
+            if store is not None:
+                store.append(record)
+            if on_cell is not None:
+                on_cell(index, record)
+
+        cell_workers = plan.cell_workers
         if cell_workers is not None and cell_workers > 1 and len(pending) > 1:
+            if should_stop is not None and should_stop():
+                raise StudyCancelled(len(records), total)
             pending = self._run_pooled(
-                pending, engine, cell_workers, writer, records, store
+                pending, engine, cell_workers, records, _notify
             )
         for index, cell in pending:
+            if should_stop is not None and should_stop():
+                raise StudyCancelled(len(records), total)
             try:
                 record = self._run_cell(cell, engine)
             except Exception as exc:
@@ -487,12 +652,9 @@ class Study:
                     )
                 raise
             records[index] = record
-            if writer is not None:
-                writer.append(record)
-            if store is not None:
-                store.append(record)
+            _notify(index, record)
         results = ResultSet(records[index] for index in range(len(self.specs)))
-        if store is not None and completed:
+        if store is not None and plan.completed:
             # Resumed cells were warehoused by the session that ran them --
             # except any lost in the crash window between their checkpoint
             # append and their warehouse append.  Reconcile by provenance so
@@ -505,9 +667,8 @@ class Study:
         pending: list[tuple[int, ExperimentSpec]],
         engine: EvaluationEngine,
         cell_workers: int,
-        writer: StudyCheckpoint | None,
         records: dict[int, StudyResult],
-        store: ResultWarehouse | None = None,
+        notify,
     ) -> list[tuple[int, ExperimentSpec]]:
         """Fan pending cells out over a process pool.
 
@@ -616,10 +777,7 @@ class Study:
                 self._scheme_cache.setdefault(tuple(key), scheme)
             for index, record in finished:
                 records[index] = record
-                if writer is not None:
-                    writer.append(record)
-                if store is not None:
-                    store.append(record)
+                notify(index, record)
             if cell_error is not None and first_error is None:
                 # A *cell* failed; its group's finished records were still
                 # merged and checkpointed above.  Keep draining the other

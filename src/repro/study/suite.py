@@ -337,3 +337,16 @@ class Suite:
         warehouse append.
         """
         return self.study.resume(checkpoint, warehouse=warehouse, **run_kwargs)
+
+    def plan(self, **plan_kwargs):
+        """Build the suite's execution plan (see :meth:`repro.study.study.Study.plan`).
+
+        The scheduler-facing half of :meth:`run` / :meth:`resume`: the study
+        server plans a submitted suite eagerly and owns the execution loop
+        through :meth:`execute`.
+        """
+        return self.study.plan(**plan_kwargs)
+
+    def execute(self, plan, on_cell=None, should_stop=None) -> ResultSet:
+        """Run a plan built by :meth:`plan` (see :meth:`repro.study.study.Study.execute`)."""
+        return self.study.execute(plan, on_cell=on_cell, should_stop=should_stop)

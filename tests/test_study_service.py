@@ -1,0 +1,479 @@
+"""The study service: plan/execute split, daemon protocol, warm-state proof.
+
+Acceptance contract pinned here:
+
+* ``Study.plan()`` + ``Study.execute()`` is bit-identical to ``Study.run()``
+  (same ``to_json``), plans are inert (no checkpoint header until execute),
+  ``on_cell`` streams every record in completion order, and ``should_stop``
+  raises :class:`StudyCancelled` at the next cell boundary with finished
+  cells checkpointed and resumable.
+* With the daemon up, a client submitting a study identical to an
+  already-completed one receives **bit-identical records with zero new LP
+  solves and zero new trainings** -- the cross-client warm-state guarantee.
+* Protocol error paths never kill the daemon: malformed JSON and unknown
+  ops get structured ``error`` replies, a client disconnect mid-stream
+  cancels only its own job, double-cancel / unknown-job-id are clean
+  errors, and a stale socket file from a killed daemon is detected and
+  replaced on restart (while a live daemon on the path refuses a second
+  bind).
+
+The server fixture binds sockets under ``tempfile.mkdtemp`` rather than
+pytest's ``tmp_path``: ``AF_UNIX`` paths are capped around 107 bytes and
+deeply nested pytest temp dirs can blow past that.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.solvers.lp import count_lp_solves
+from repro.study import (
+    ResultSet,
+    Study,
+    StudyCancelled,
+    StudyCheckpoint,
+    StudyClient,
+    StudyServer,
+    StudyServiceError,
+    Suite,
+)
+from repro.study.warehouse import ResultWarehouse
+
+
+def scenario_config(name: str, num_intervals: int = 20) -> dict:
+    return {
+        "name": name,
+        "topology": {"kind": "fully_connected", "num_nodes": 4, "capacity": 10.0},
+        "traffic": {"kind": "datacenter", "level": "pod", "num_intervals": num_intervals},
+        "history_len": 3,
+    }
+
+
+CHEAP_SCHEME = {"kind": "figret", "epochs": 1, "history_len": 3, "seed": 0}
+
+
+def grid_spec(name: str = "svc", alphas=(1.0, 2.0)) -> dict:
+    """A small grid whose cells need real LP normaliser solves."""
+    return {
+        "scenario": scenario_config(name),
+        "scheme": CHEAP_SCHEME,
+        "perturbation": {
+            "sweep": [{"kind": "none"}]
+            + [{"kind": "fluctuation", "alpha": alpha} for alpha in alphas]
+        },
+        "max_intervals": 6,
+    }
+
+
+def wire_dicts(results) -> str:
+    return json.dumps(
+        [record.to_dict(include_series=True) for record in results], sort_keys=True
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Study.plan() / Study.execute()
+# --------------------------------------------------------------------------- #
+class TestPlanExecute:
+    def test_plan_execute_matches_run(self):
+        spec = grid_spec("plan-eq")
+        direct = Study(spec).run()
+        study = Study(spec)
+        plan = study.plan()
+        assert plan.total == 3 and plan.remaining == 3 and not plan.completed
+        via_plan = study.execute(plan)
+        assert via_plan.to_json() == direct.to_json()
+
+    def test_plan_is_inert_until_execute(self, tmp_path):
+        ckpt = tmp_path / "run.ckpt"
+        study = Study(grid_spec("plan-inert"))
+        study.plan(checkpoint=ckpt)
+        assert not ckpt.exists()
+
+    def test_on_cell_streams_every_record_in_order(self):
+        study = Study(grid_spec("plan-stream"))
+        seen: list[tuple[int, str]] = []
+        results = study.execute(
+            study.plan(),
+            on_cell=lambda index, record: seen.append((index, record.experiment)),
+        )
+        assert [index for index, _ in seen] == [0, 1, 2]
+        assert len(results) == len(seen) == 3
+
+    def test_should_stop_cancels_and_resumes_bit_identical(self, tmp_path):
+        spec = grid_spec("plan-cancel")
+        direct = Study(spec).run()
+        ckpt = tmp_path / "cancel.ckpt"
+        stop = threading.Event()
+        study = Study(spec)
+
+        def on_cell(index, record):
+            stop.set()  # ask for cancellation after the first finished cell
+
+        with pytest.raises(StudyCancelled) as excinfo:
+            study.execute(study.plan(checkpoint=ckpt), on_cell=on_cell,
+                          should_stop=stop.is_set)
+        assert excinfo.value.completed == 1
+        assert "resumable" in str(excinfo.value)
+        assert len(StudyCheckpoint(ckpt).load()) == 1
+        resumed = Study(spec).resume(ckpt)
+        assert resumed.to_json() == direct.to_json()
+
+    def test_resume_plan_carries_completed_records(self, tmp_path):
+        spec = grid_spec("plan-resume")
+        ckpt = tmp_path / "resume.ckpt"
+        stop = threading.Event()
+        study = Study(spec)
+        with pytest.raises(StudyCancelled):
+            study.execute(study.plan(checkpoint=ckpt),
+                          on_cell=lambda i, r: stop.set(),
+                          should_stop=stop.is_set)
+        plan = Study(spec).plan(checkpoint=ckpt, resume=True)
+        assert plan.total == 3 and set(plan.completed) == {0} and plan.remaining == 2
+
+    def test_suite_plan_execute_passthrough(self, tmp_path):
+        descriptor = {
+            "name": "svc-suite",
+            "studies": [{"name": "one", "spec": grid_spec("suite-pe", alphas=())}],
+        }
+        direct = Suite(descriptor).run()
+        suite = Suite(descriptor)
+        assert suite.execute(suite.plan()).to_json() == direct.to_json()
+
+
+# --------------------------------------------------------------------------- #
+# Daemon fixture
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def service():
+    """A live daemon on a short-path socket; yields (server, client)."""
+    root = Path(tempfile.mkdtemp(prefix="repro-svc-"))
+    server = StudyServer(root / "daemon.sock")
+    ready = threading.Event()
+    thread = threading.Thread(target=server.serve_forever, kwargs={"ready": ready},
+                              daemon=True)
+    thread.start()
+    assert ready.wait(10), "daemon never became ready"
+    yield server, StudyClient(server.socket_path)
+    server.stop()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+def raw_request(socket_path, payload: bytes) -> dict:
+    """Send raw bytes (possibly malformed) and read one reply line."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(10)
+        sock.connect(str(socket_path))
+        sock.sendall(payload)
+        line = sock.makefile("rb").readline()
+    return json.loads(line)
+
+
+# --------------------------------------------------------------------------- #
+# Warm-state guarantee (the tentpole's acceptance criterion)
+# --------------------------------------------------------------------------- #
+class TestWarmState:
+    def test_second_identical_submit_is_free_and_bit_identical(self, service):
+        server, client = service
+        spec = grid_spec("warm")
+        first = client.submit(spec)
+        assert first.status == "done" and len(first.results) == 3
+        assert first.summary["lp_solves"] > 0
+        assert first.summary["trainings"] == 1
+
+        with count_lp_solves() as tally:
+            second = client.submit(spec)
+        assert second.status == "done"
+        # Zero new LP solves: both the server's per-job tally and a
+        # process-wide tally spanning the submit (the daemon runs in this
+        # process, so any stray solve would land in `tally` too).
+        assert second.summary["lp_solves"] == 0
+        assert second.summary["trainings"] == 0
+        assert tally.count == 0
+        assert wire_dicts(second.results) == wire_dicts(first.results)
+
+    def test_overlapping_submits_from_concurrent_clients(self, service):
+        server, client = service
+        base = grid_spec("overlap", alphas=(1.0,))
+        superset = grid_spec("overlap", alphas=(1.0, 2.0))
+        outcomes: dict[str, object] = {}
+
+        def submit(tag, spec):
+            outcomes[tag] = StudyClient(server.socket_path).submit(spec)
+
+        threads = [
+            threading.Thread(target=submit, args=("base", base)),
+            threading.Thread(target=submit, args=("superset", superset)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        base_out, superset_out = outcomes["base"], outcomes["superset"]
+        assert base_out.status == superset_out.status == "done"
+        # FIFO: whichever ran second reused the first job's LP cache and
+        # trained scheme; together they solve no more than one cold run of
+        # the superset grid, and train exactly once.
+        total_trainings = base_out.summary["trainings"] + superset_out.summary["trainings"]
+        assert total_trainings == 1
+        # The overlapping 2 of 3 cells are shared: the union of both jobs'
+        # solves must equal ONE cold superset run's solves.  The cold
+        # reference runs on an isolated engine -- the process-wide
+        # shared_cache() may already be warm from other tests.
+        from repro.evaluation.engine import EvaluationEngine
+        from repro.solvers.lp import OptimalMLUCache
+
+        with count_lp_solves() as tally:
+            Study(superset).run(engine=EvaluationEngine(cache=OptimalMLUCache()))
+        assert (base_out.summary["lp_solves"] + superset_out.summary["lp_solves"]
+                == tally.count)
+        # shared cells bit-identical across the two clients
+        shared_first = wire_dicts(base_out.results[:2])
+        shared_second = wire_dicts(superset_out.results[:2])
+        assert shared_first == shared_second
+
+    def test_results_match_direct_run(self, service):
+        server, client = service
+        spec = grid_spec("direct-eq", alphas=(1.0,))
+        outcome = client.submit(spec)
+        direct = Study(spec).run()
+        assert wire_dicts(outcome.results) == wire_dicts(direct)
+
+    def test_warehouse_append(self, service, tmp_path):
+        server, client = service
+        warehouse = tmp_path / "wh.jsonl"
+        outcome = client.submit(grid_spec("wh", alphas=()), warehouse=warehouse)
+        assert outcome.status == "done"
+        assert len(ResultWarehouse(warehouse).results()) == 1
+
+    def test_status_reports_warm_caches_and_jobs(self, service):
+        server, client = service
+        client.submit(grid_spec("status", alphas=()))
+        status = client.status()
+        assert status["warm"]["lp_cache_entries"] > 0
+        assert status["warm"]["trained_schemes"] == 1
+        assert status["warm"]["scenarios"] == 1
+        (job,) = status["jobs"]
+        assert job["status"] == "done" and job["completed"] == job["cells"] == 1
+        assert client.status(job=job["job"])["jobs"] == [job]
+
+    def test_suite_submit(self, service):
+        server, client = service
+        descriptor = {
+            "name": "svc",
+            "studies": [{"name": "one", "spec": grid_spec("suite-job", alphas=())}],
+        }
+        outcome = client.submit(descriptor, kind="suite")
+        assert outcome.status == "done" and len(outcome.results) == 1
+        (record,) = outcome.results
+        assert record.tags["suite"] == "svc" and record.tags["study"] == "one"
+
+
+# --------------------------------------------------------------------------- #
+# Cancel / resume through the daemon
+# --------------------------------------------------------------------------- #
+class TestCancelResume:
+    def test_cancel_mid_job_then_resume_completes(self, service):
+        server, client = service
+        spec = grid_spec("svc-cancel", alphas=(1.0, 2.0, 3.0))
+        direct = Study(spec).run()
+
+        terminal = None
+        for message in client.submit_iter(spec, checkpoint="cancel-job"):
+            if message["type"] == "record" and message["completed"] == 1:
+                reply = StudyClient(server.socket_path).cancel(message["job"])
+                assert reply["type"] in ("cancelling", "cancelled")
+            if message["type"] in ("done", "cancelled", "failed"):
+                terminal = message
+        assert terminal["type"] == "cancelled"
+        assert 0 < terminal["completed"] < 4
+
+        resumed = client.submit(spec, checkpoint="cancel-job", resume=True)
+        assert resumed.status == "done" and len(resumed.results) == 4
+        assert wire_dicts(resumed.results) == wire_dicts(direct)
+
+    def test_double_cancel_and_cancel_finished_are_clean_errors(self, service):
+        server, client = service
+        outcome = client.submit(grid_spec("done-cancel", alphas=()))
+        with pytest.raises(StudyServiceError, match="already done"):
+            client.cancel(outcome.job)
+
+    def test_unknown_job_id_is_clean_error(self, service):
+        _, client = service
+        with pytest.raises(StudyServiceError, match="unknown job"):
+            client.cancel("job-9999")
+        with pytest.raises(StudyServiceError, match="unknown job"):
+            client.status(job="job-9999")
+
+    def test_resume_without_checkpoint_rejected(self, service):
+        _, client = service
+        with pytest.raises(StudyServiceError, match="needs a 'checkpoint'"):
+            client.submit(grid_spec("r", alphas=()), resume=True)
+
+    def test_server_stop_cancels_running_job_checkpointed(self, service):
+        server, client = service
+        spec = grid_spec("stop-cancel", alphas=(1.0, 2.0, 3.0))
+        terminal = {}
+
+        def on_message(message):
+            if message["type"] == "record" and message["completed"] == 1:
+                server.stop()  # SIGTERM path: the CLI handler calls exactly this
+
+        outcome = client.submit(spec, checkpoint="stop-job", on_message=on_message)
+        terminal = outcome.summary
+        assert outcome.status == "cancelled"
+        assert terminal["reason"] == "server shutting down"
+        ckpt = StudyCheckpoint(server.spool_dir / "stop-job")
+        assert 0 < len(ckpt.load()) < 4  # finished cells survived the stop
+
+
+# --------------------------------------------------------------------------- #
+# Protocol error paths (the daemon must outlive all of these)
+# --------------------------------------------------------------------------- #
+class TestProtocolErrors:
+    def test_malformed_json_gets_structured_error(self, service):
+        server, client = service
+        reply = raw_request(server.socket_path, b"{not json\n")
+        assert reply["type"] == "error" and "malformed" in reply["error"]
+        assert client.ping()["type"] == "pong"  # daemon survived
+
+    def test_non_object_request_rejected(self, service):
+        server, client = service
+        reply = raw_request(server.socket_path, b"[1, 2, 3]\n")
+        assert reply["type"] == "error" and "JSON object" in reply["error"]
+        assert client.ping()["type"] == "pong"
+
+    def test_unknown_op_rejected(self, service):
+        server, client = service
+        reply = raw_request(server.socket_path, b'{"op": "frobnicate"}\n')
+        assert reply["type"] == "error" and "unknown op" in reply["error"]
+
+    def test_invalid_spec_rejected_before_queueing(self, service):
+        _, client = service
+        with pytest.raises(StudyServiceError, match="invalid study spec"):
+            client.submit({"bogus_key": 1})
+        with pytest.raises(StudyServiceError, match="invalid suite spec"):
+            client.submit({"bogus_key": 1}, kind="suite")
+        assert client.status()["jobs"] == []  # nothing was queued
+
+    def test_unknown_submit_key_rejected(self, service):
+        server, client = service
+        reply = raw_request(
+            server.socket_path,
+            json.dumps({"op": "submit", "spec": {}, "checkpint": "typo"}).encode()
+            + b"\n",
+        )
+        assert reply["type"] == "error" and "checkpint" in reply["error"]
+
+    def test_client_disconnect_cancels_only_its_job(self, service):
+        server, client = service
+        # Park a slow job at the head of the FIFO queue so the disconnecting
+        # client's job stays queued long enough for the server's monitor to
+        # notice the EOF (a warm job can otherwise finish before detection).
+        slow_spec = {
+            "scenario": scenario_config("disconnect-slow", num_intervals=60),
+            "scheme": dict(CHEAP_SCHEME, epochs=60),
+            "max_intervals": 30,
+        }
+        slow_outcome = {}
+        slow_thread = threading.Thread(
+            target=lambda: slow_outcome.update(
+                done=StudyClient(server.socket_path).submit(slow_spec)
+            )
+        )
+        slow_thread.start()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            jobs = client.status()["jobs"]
+            if any(job["status"] == "running" for job in jobs):
+                break
+            time.sleep(0.02)
+
+        spec = grid_spec("disconnect", alphas=(1.0, 2.0, 3.0))
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(str(server.socket_path))
+        sock.sendall((json.dumps({"op": "submit", "spec": spec}) + "\n").encode())
+        reader = sock.makefile("rb")
+        accepted = json.loads(reader.readline())
+        assert accepted["type"] == "accepted"
+        # The client vanishes while its job waits in the queue.  shutdown()
+        # forces the FIN out even though the makefile reader still holds a
+        # reference to the socket's fd.
+        sock.shutdown(socket.SHUT_RDWR)
+        reader.close()
+        sock.close()
+
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            (job,) = client.status(job=accepted["job"])["jobs"]
+            if job["status"] == "cancelled":
+                break
+            time.sleep(0.05)
+        assert job["status"] == "cancelled"
+        assert "disconnected" in job["cancel_reason"]
+        # ...and ONLY its job: the in-flight job from the other client is
+        # untouched, and the daemon keeps serving new work end-to-end.
+        slow_thread.join(timeout=120)
+        assert slow_outcome["done"].status == "done"
+        follow_up = client.submit(grid_spec("disconnect-after", alphas=()))
+        assert follow_up.status == "done"
+
+    def test_stale_socket_replaced_live_daemon_refused(self, service):
+        server, _ = service
+        root = Path(tempfile.mkdtemp(prefix="repro-stale-"))
+        stale = root / "stale.sock"
+        dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        dead.bind(str(stale))
+        dead.close()  # a bound-but-dead socket file, as a SIGKILL leaves behind
+
+        replacement = StudyServer(stale)
+        ready = threading.Event()
+        thread = threading.Thread(target=replacement.serve_forever,
+                                  kwargs={"ready": ready}, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        assert StudyClient(stale).ping()["type"] == "pong"
+        # a second daemon must refuse the live socket rather than steal it
+        with pytest.raises(OSError, match="already listening"):
+            StudyServer(stale).serve_forever()
+        replacement.stop()
+        thread.join(timeout=10)
+        assert not stale.exists()  # graceful stop cleans up its socket file
+
+    def test_shutdown_op_stops_daemon(self):
+        root = Path(tempfile.mkdtemp(prefix="repro-shutdown-"))
+        server = StudyServer(root / "daemon.sock")
+        ready = threading.Event()
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"ready": ready}, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        client = StudyClient(server.socket_path)
+        assert client.shutdown()["type"] == "shutting_down"
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        with pytest.raises(StudyServiceError, match="cannot reach"):
+            client.ping()
+
+
+# --------------------------------------------------------------------------- #
+# Client-side niceties
+# --------------------------------------------------------------------------- #
+class TestClient:
+    def test_wait_until_ready_times_out_cleanly(self, tmp_path):
+        with pytest.raises(StudyServiceError, match="became ready"):
+            StudyClient.wait_until_ready(tmp_path / "never.sock", timeout=0.3)
+
+    def test_submit_returns_resultset(self, service):
+        _, client = service
+        outcome = client.submit(grid_spec("rs", alphas=()))
+        assert isinstance(outcome.results, ResultSet)
+        assert outcome.records_by_index.keys() == {0}
